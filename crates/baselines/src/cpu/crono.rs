@@ -1,0 +1,109 @@
+//! CRONO's connected components (Ahmad et al., IISWC 2015), as described
+//! in the paper's §2: the Shiloach–Vishkin approach — iterated parallel
+//! hooking over the edges followed by parallel pointer jumping — on
+//! multicore. CRONO's implementation is built on 2D matrices of size
+//! `n × dmax`, "as a consequence \[it\] tends to run out of memory for
+//! graphs with high-degree vertices"; [`run`] reproduces that failure
+//! mode by refusing inputs whose `n × dmax` working set exceeds a budget
+//! (the paper's Tables 7–8 show `n/a` for exactly those inputs).
+
+use ecl_cc::CcResult;
+use ecl_graph::CsrGraph;
+use ecl_parallel::{parallel_for, Schedule};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Default cap on the simulated `n × dmax` allocation (entries). The
+/// paper's machine had 128 GB; scaled to this environment we refuse
+/// anything above 2^28 entries.
+pub const DEFAULT_MEMORY_BUDGET: u64 = 1 << 28;
+
+/// Runs CRONO-style SV with `threads` workers. Returns `None` when the
+/// `n × dmax` layout would exceed `DEFAULT_MEMORY_BUDGET` (CRONO's
+/// out-of-memory failure, reported as `n/a` in the paper).
+pub fn run(g: &CsrGraph, threads: usize) -> Option<CcResult> {
+    run_with_budget(g, threads, DEFAULT_MEMORY_BUDGET)
+}
+
+/// [`run`] with an explicit memory budget in matrix entries.
+pub fn run_with_budget(g: &CsrGraph, threads: usize, budget: u64) -> Option<CcResult> {
+    let n = g.num_vertices();
+    if (n as u64).saturating_mul(g.max_degree() as u64) > budget {
+        return None;
+    }
+    let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let changed = AtomicBool::new(true);
+
+    let mut rounds = 0usize;
+    while changed.swap(false, Ordering::Relaxed) {
+        rounds += 1;
+        assert!(rounds <= n + 2, "CRONO SV failed to converge");
+        let parent_ref = &parent;
+        let changed_ref = &changed;
+        // Hooking: each vertex scans its row of the adjacency matrix.
+        parallel_for(threads, n, Schedule::Static, move |v| {
+            let pv = parent_ref[v].load(Ordering::Relaxed);
+            for &u in g.neighbors(v as u32) {
+                let pu = parent_ref[u as usize].load(Ordering::Relaxed);
+                if pu != pv {
+                    let (hi, lo) = if pu > pv { (pu, pv) } else { (pv, pu) };
+                    if parent_ref[hi as usize].fetch_min(lo, Ordering::Relaxed) > lo {
+                        changed_ref.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        // Pointer jumping: flatten every vertex to its current root.
+        parallel_for(threads, n, Schedule::Static, move |v| {
+            let mut root = v as u32;
+            loop {
+                let p = parent_ref[root as usize].load(Ordering::Relaxed);
+                if p >= root {
+                    break;
+                }
+                root = p;
+            }
+            parent_ref[v].store(root, Ordering::Relaxed);
+        });
+    }
+
+    Some(CcResult::new(
+        parent.into_iter().map(AtomicU32::into_inner).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::test_support::test_graphs;
+
+    #[test]
+    fn verifies_on_all_shapes() {
+        for (name, g) in test_graphs() {
+            let r = run(&g, 4).expect("within budget");
+            r.verify(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn oom_failure_mode() {
+        // A star has dmax = n - 1, so n × dmax ~ n²: exceeds a small budget.
+        let g = ecl_graph::generate::star(2000);
+        assert!(run_with_budget(&g, 2, 100_000).is_none());
+        assert!(run_with_budget(&g, 2, u64::MAX).is_some());
+    }
+
+    #[test]
+    fn labels_are_roots() {
+        let g = ecl_graph::generate::gnm_random(400, 1000, 3);
+        let r = run(&g, 4).unwrap();
+        for (v, &l) in r.labels.iter().enumerate() {
+            assert_eq!(r.labels[l as usize], l, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn single_thread() {
+        let g = ecl_graph::generate::grid2d(15, 15);
+        run(&g, 1).unwrap().verify(&g).unwrap();
+    }
+}

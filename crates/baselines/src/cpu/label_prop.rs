@@ -1,0 +1,91 @@
+//! Ligra+ "Comp"-style label propagation (paper §2): every vertex starts
+//! labeled with its own ID; active vertices push their label to neighbors
+//! with `atomicMin`; a vertex whose label changed in the previous round
+//! joins the next frontier. Keeping the previous label per vertex confines
+//! each round's work to vertices that actually changed — Ligra's
+//! optimization — but label values still creep one hop per round, which
+//! is why the paper measures Comp at 26.5 s on the high-diameter
+//! `europe_osm` versus 0.18 s for ECL-CC_OMP.
+
+use super::parallel_expand;
+use ecl_cc::CcResult;
+use ecl_graph::{CsrGraph, Vertex};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Runs frontier-based label propagation with `threads` workers.
+pub fn run(g: &CsrGraph, threads: usize) -> CcResult {
+    let n = g.num_vertices();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let queued: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+
+    let mut frontier: Vec<Vertex> = (0..n as Vertex).collect();
+    let mut rounds = 0usize;
+    while !frontier.is_empty() {
+        rounds += 1;
+        assert!(rounds <= n + 1, "label propagation failed to converge");
+        let labels_ref = &labels;
+        let queued_ref = &queued;
+        let next = parallel_expand(threads, &frontier, move |v, push| {
+            let lv = labels_ref[v as usize].load(Ordering::Relaxed);
+            for &u in g.neighbors(v) {
+                // Push lv to every neighbor with a larger label.
+                let mut lu = labels_ref[u as usize].load(Ordering::Relaxed);
+                while lv < lu {
+                    match labels_ref[u as usize].compare_exchange_weak(
+                        lu,
+                        lv,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            if !queued_ref[u as usize].swap(true, Ordering::Relaxed) {
+                                push.push(u);
+                            }
+                            break;
+                        }
+                        Err(cur) => lu = cur,
+                    }
+                }
+            }
+        });
+        for &v in &next {
+            queued[v as usize].store(false, Ordering::Relaxed);
+        }
+        frontier = next;
+    }
+
+    CcResult::new(labels.into_iter().map(AtomicU32::into_inner).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::test_support::test_graphs;
+
+    #[test]
+    fn verifies_on_all_shapes() {
+        for (name, g) in test_graphs() {
+            let r = run(&g, 4);
+            r.verify(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn labels_are_component_minimums() {
+        let g = ecl_graph::generate::disjoint_cliques(3, 5);
+        let r = run(&g, 2);
+        assert_eq!(r.labels, ecl_graph::stats::reference_labels(&g));
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let g = ecl_graph::generate::gnm_random(300, 700, 9);
+        run(&g, 1).verify(&g).unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ecl_graph::GraphBuilder::new(0).build();
+        assert!(run(&g, 4).labels.is_empty());
+    }
+}

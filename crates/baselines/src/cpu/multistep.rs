@@ -1,0 +1,136 @@
+//! Multistep CC (Slota, Rajamanickam, Madduri — IPDPS 2014), as described
+//! in the paper's §2: one parallel level-synchronous BFS rooted at the
+//! **maximum-degree vertex** captures the giant component cheaply; label
+//! propagation then handles the remaining subgraph; a serial sweep
+//! finishes once only a few vertices are left.
+
+use super::parallel_expand;
+use ecl_cc::CcResult;
+use ecl_graph::{CsrGraph, Vertex};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const UNSET: u32 = u32::MAX;
+
+/// Vertices below this count are finished serially (the paper: "finishes
+/// the work serially if only a few vertices are left").
+const SERIAL_CUTOFF: usize = 512;
+
+/// Runs Multistep CC with `threads` workers.
+pub fn run(g: &CsrGraph, threads: usize) -> CcResult {
+    let n = g.num_vertices();
+    if n == 0 {
+        return CcResult::new(Vec::new());
+    }
+    let labels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+
+    // --- step 1: parallel BFS from the max-degree vertex ----------------
+    let root = (0..n as Vertex).max_by_key(|&v| g.degree(v)).unwrap();
+    labels[root as usize].store(root, Ordering::Relaxed);
+    let mut frontier = vec![root];
+    while !frontier.is_empty() {
+        let labels_ref = &labels;
+        frontier = parallel_expand(threads, &frontier, move |v, push| {
+            for &u in g.neighbors(v) {
+                if labels_ref[u as usize]
+                    .compare_exchange(UNSET, root, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    push.push(u);
+                }
+            }
+        });
+    }
+
+    // --- step 2: label propagation on the remainder ---------------------
+    let mut remaining: Vec<Vertex> = (0..n as Vertex)
+        .filter(|&v| labels[v as usize].load(Ordering::Relaxed) == UNSET)
+        .collect();
+    for &v in &remaining {
+        labels[v as usize].store(v, Ordering::Relaxed);
+    }
+    while remaining.len() > SERIAL_CUTOFF {
+        let labels_ref = &labels;
+        let next = parallel_expand(threads, &remaining, move |v, push| {
+            let lv = labels_ref[v as usize].load(Ordering::Relaxed);
+            for &u in g.neighbors(v) {
+                let mut lu = labels_ref[u as usize].load(Ordering::Relaxed);
+                while lv < lu {
+                    match labels_ref[u as usize].compare_exchange_weak(
+                        lu,
+                        lv,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            push.push(u);
+                            break;
+                        }
+                        Err(cur) => lu = cur,
+                    }
+                }
+            }
+        });
+        // Deduplicate to bound the frontier.
+        let mut next = next;
+        next.sort_unstable();
+        next.dedup();
+        remaining = next;
+    }
+
+    // --- step 3: finish serially ----------------------------------------
+    let mut serial: Vec<Vertex> = remaining;
+    while !serial.is_empty() {
+        let mut next = Vec::new();
+        for &v in &serial {
+            let lv = labels[v as usize].load(Ordering::Relaxed);
+            for &u in g.neighbors(v) {
+                if lv < labels[u as usize].load(Ordering::Relaxed) {
+                    labels[u as usize].store(lv, Ordering::Relaxed);
+                    next.push(u);
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        serial = next;
+    }
+
+    CcResult::new(labels.into_iter().map(AtomicU32::into_inner).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::test_support::test_graphs;
+
+    #[test]
+    fn verifies_on_all_shapes() {
+        for (name, g) in test_graphs() {
+            let r = run(&g, 4);
+            r.verify(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn giant_component_labeled_by_bfs_root() {
+        // Star: max-degree root is the hub (vertex 0); whole graph is one
+        // component labeled 0.
+        let g = ecl_graph::generate::star(200);
+        let r = run(&g, 4);
+        assert!(r.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn multiple_components_still_correct() {
+        let g = ecl_graph::generate::disjoint_cliques(10, 30);
+        let r = run(&g, 4);
+        r.verify(&g).unwrap();
+        assert_eq!(r.num_components(), 10);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ecl_graph::GraphBuilder::new(0).build();
+        assert!(run(&g, 2).labels.is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Gunrock's connected components (Wang et al., PPoPP 2016), as described
+//! in the paper's §2: a variant of Soman's approach where, instead of
+//! processing all vertices and edges every iteration, **filter operators**
+//! compact the edge frontier (dropping edges whose endpoints share a
+//! representative) and the vertex frontier (dropping representatives)
+//! after each round. The filters keep the working set shrinking but cost a
+//! full scatter/compact pass of memory traffic per iteration — which is
+//! why Gunrock trails the field in the paper's Fig. 11/12.
+
+use super::{upload_edge_list, GpuBaselineRun};
+use ecl_cc::CcResult;
+use ecl_gpu_sim::{Gpu, Lanes};
+use ecl_graph::CsrGraph;
+
+/// Runs Gunrock-style CC.
+pub fn run(gpu: &mut Gpu, g: &CsrGraph) -> GpuBaselineRun {
+    let n = g.num_vertices();
+    let kernels_before = gpu.kernel_stats().len();
+    let (src0, dst0, m) = upload_edge_list(gpu, g);
+    let parent = gpu.alloc_from(&(0..n as u32).collect::<Vec<_>>());
+    // Double-buffered *index* frontier: Gunrock frontiers hold edge IDs,
+    // so every operator dereferences the CSR-derived edge arrays through
+    // the frontier — coalesced on the first iteration, scattered once the
+    // filter has compacted it.
+    let eidx_a = gpu.alloc_from(&(0..m as u32).collect::<Vec<_>>());
+    let eidx_b = gpu.alloc(m.max(1));
+    let cursor = gpu.alloc(1);
+    // The filter operator is unfused: a flag pass marks survivors, then a
+    // compaction pass scatters them (Gunrock's scan-based filter).
+    let flags = gpu.alloc(m.max(1));
+    // Double-buffered vertex frontier for the filter-based pointer
+    // jumping (Gunrock iterates *single* jumps, filtering out vertices
+    // that have reached a representative).
+    let vf_a = gpu.alloc(n.max(1));
+    let vf_b = gpu.alloc(n.max(1));
+    let vcursor = gpu.alloc(1);
+
+    let nu = n as u32;
+    let total_v = gpu.suggested_threads(n.max(1));
+
+    let mut frontier = (eidx_a, m);
+    let mut spare = eidx_b;
+    let mut iterations = 0usize;
+    while frontier.1 > 0 {
+        iterations += 1;
+        assert!(iterations <= n + 2, "Gunrock failed to converge");
+        let (eidx, fm) = frontier;
+        let fmu = fm as u32;
+        let total_e = gpu.suggested_threads(fm);
+        let stride = total_e as u32;
+
+        // --- hook: two passes over the live frontier ---------------------
+        // Gunrock implements Soman's *alternating* hooking: a max-hook
+        // pass (larger representative under smaller) followed by a
+        // min-hook pass on the edges the first could not hook, each with
+        // the root check. Two sweeps of the edge frontier per iteration.
+        for hook_pass in ["gunrock_hook_max", "gunrock_hook_min"] {
+            gpu.launch_warps(hook_pass, total_e, |w| {
+                let mut e = w.thread_ids();
+                loop {
+                    let m_act = w.launch_mask() & e.lt_scalar(fmu);
+                    if m_act.none() {
+                        return;
+                    }
+                    let eid = w.load(eidx, &e, m_act);
+                    let u = w.load(src0, &eid, m_act);
+                    let v = w.load(dst0, &eid, m_act);
+                    let pu = w.load(parent, &u, m_act);
+                    let pv = w.load(parent, &v, m_act);
+                    let diff = m_act & pu.ne_mask(&pv);
+                    if diff.any() {
+                        let hi = pu.zip(&pv, u32::max);
+                        let lo = pu.zip(&pv, u32::min);
+                        let ph = w.load(parent, &hi, diff);
+                        let is_root = diff & ph.eq_mask(&hi);
+                        if is_root.any() {
+                            let _ = w.atomic_min(parent, &hi, &lo, is_root);
+                        }
+                    }
+                    e = e.add_scalar(stride);
+                    w.alu(3);
+                }
+            });
+        }
+
+        // --- filter-based pointer jumping --------------------------------
+        // Gunrock iterates *single* pointer jumps over a vertex frontier,
+        // filtering out vertices whose parent has become a representative
+        // ("after multiple pointer jumping, it removes all vertices that
+        // are representatives") — one jump pass + one compaction pass per
+        // level until every path is flat.
+        let stride_v = total_v as u32;
+        gpu.launch_warps("gunrock_vinit", total_v, |w| {
+            let mut v = w.thread_ids();
+            loop {
+                let m_act = w.launch_mask() & v.lt_scalar(nu);
+                if m_act.none() {
+                    return;
+                }
+                w.store(vf_a, &v, &v, m_act);
+                v = v.add_scalar(stride_v);
+                w.alu(1);
+            }
+        });
+        let mut vfront = vf_a;
+        let mut vspare = vf_b;
+        let mut vcount = n as u32;
+        let mut pj_rounds = 0usize;
+        while vcount > 0 {
+            pj_rounds += 1;
+            assert!(pj_rounds <= n + 2, "Gunrock pointer jumping diverged");
+            gpu.upload(vcursor, &[0]);
+            let total_f = gpu.suggested_threads(vcount as usize);
+            let stride_f = total_f as u32;
+            let (vf, vs) = (vfront, vspare);
+            gpu.launch_warps("gunrock_pjump", total_f, |w| {
+                let mut i = w.thread_ids();
+                loop {
+                    let m_act = w.launch_mask() & i.lt_scalar(vcount);
+                    if m_act.none() {
+                        return;
+                    }
+                    let v = w.load(vf, &i, m_act);
+                    let p = w.load(parent, &v, m_act);
+                    let gp = w.load(parent, &p, m_act);
+                    // Single jump: parent[v] = grandparent.
+                    w.store(parent, &v, &gp, m_act & p.ne_mask(&gp));
+                    // Keep v while its new parent is still mid-path.
+                    let pgp = w.load(parent, &gp, m_act);
+                    let keep = m_act & gp.ne_mask(&pgp);
+                    if keep.any() {
+                        let slot = w.atomic_add(vcursor, &Lanes::splat(0), &Lanes::splat(1), keep);
+                        w.store(vs, &slot, &v, keep);
+                    }
+                    i = i.add_scalar(stride_f);
+                    w.alu(3);
+                }
+            });
+            vcount = gpu.download(vcursor)[0];
+            std::mem::swap(&mut vfront, &mut vspare);
+            // The vertex filter also compacts by scan: one more sweep
+            // over the surviving frontier per jump level.
+            if vcount > 0 {
+                let total_s = gpu.suggested_threads(vcount as usize);
+                let stride_s = total_s as u32;
+                let vf = vfront;
+                let vc = vcount;
+                gpu.launch_warps("gunrock_vscan", total_s, |w| {
+                    let mut i = w.thread_ids();
+                    loop {
+                        let m_act = w.launch_mask() & i.lt_scalar(vc);
+                        if m_act.none() {
+                            return;
+                        }
+                        let v = w.load(vf, &i, m_act);
+                        w.store(vf, &i, &v, m_act);
+                        i = i.add_scalar(stride_s);
+                        w.alu(3);
+                    }
+                });
+            }
+        }
+
+        // --- filter pass 1: flag edges whose endpoints still differ ------
+        gpu.launch_warps("gunrock_flag", total_e, |w| {
+            let mut e = w.thread_ids();
+            loop {
+                let m_act = w.launch_mask() & e.lt_scalar(fmu);
+                if m_act.none() {
+                    return;
+                }
+                let eid = w.load(eidx, &e, m_act);
+                let u = w.load(src0, &eid, m_act);
+                let v = w.load(dst0, &eid, m_act);
+                let pu = w.load(parent, &u, m_act);
+                let pv = w.load(parent, &v, m_act);
+                let keep = m_act & pu.ne_mask(&pv);
+                let mut f = Lanes::splat(0);
+                f.assign_masked(&Lanes::splat(1), keep);
+                w.store(flags, &e, &f, m_act);
+                e = e.add_scalar(stride);
+                w.alu(2);
+            }
+        });
+
+        // --- filter pass 2: exclusive scan over the flags -----------------
+        // Gunrock compacts with a scan, not an atomic counter: the scan is
+        // two more sweeps over the frontier (up-sweep reduce, down-sweep
+        // scatter of partial sums). The simulator charges them as one
+        // read sweep and one read+write sweep over the flag array.
+        gpu.launch_warps("gunrock_scan", total_e, |w| {
+            let mut e = w.thread_ids();
+            loop {
+                let m_act = w.launch_mask() & e.lt_scalar(fmu);
+                if m_act.none() {
+                    return;
+                }
+                let f = w.load(flags, &e, m_act);
+                w.alu(2); // up-sweep adds
+                w.store(flags, &e, &f, m_act); // down-sweep writes offsets
+                e = e.add_scalar(stride);
+                w.alu(2);
+            }
+        });
+
+        // --- filter pass 3: compact the flagged edge IDs -------------------
+        gpu.upload(cursor, &[0]);
+        let nidx = spare;
+        gpu.launch_warps("gunrock_filter", total_e, |w| {
+            let mut e = w.thread_ids();
+            loop {
+                let m_act = w.launch_mask() & e.lt_scalar(fmu);
+                if m_act.none() {
+                    return;
+                }
+                let f = w.load(flags, &e, m_act);
+                let keep = m_act & f.eq_mask(&Lanes::splat(1));
+                if keep.any() {
+                    let eid = w.load(eidx, &e, keep);
+                    let slot = w.atomic_add(cursor, &Lanes::splat(0), &Lanes::splat(1), keep);
+                    w.store(nidx, &slot, &eid, keep);
+                }
+                e = e.add_scalar(stride);
+                w.alu(2);
+            }
+        });
+        let kept = gpu.download(cursor)[0] as usize;
+        spare = eidx;
+        frontier = (nidx, kept);
+    }
+
+    let labels = if n == 0 {
+        Vec::new()
+    } else {
+        gpu.download(parent)[..n].to_vec()
+    };
+    GpuBaselineRun {
+        result: CcResult::new(labels),
+        kernels: gpu.kernel_stats()[kernels_before..].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::test_support::test_graphs;
+    use ecl_gpu_sim::DeviceProfile;
+
+    #[test]
+    fn verifies_on_all_shapes() {
+        for (name, g) in test_graphs() {
+            let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+            let run = run(&mut gpu, &g);
+            run.result.verify(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn filter_launches_appear() {
+        let g = ecl_graph::generate::path(256);
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let run = run(&mut gpu, &g);
+        assert!(run.kernels.iter().any(|k| k.name == "gunrock_filter"));
+    }
+
+    #[test]
+    fn labels_are_roots() {
+        let g = ecl_graph::generate::gnm_random(300, 900, 5);
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let run = run(&mut gpu, &g);
+        for (v, &l) in run.result.labels.iter().enumerate() {
+            assert_eq!(run.result.labels[l as usize], l, "vertex {v}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Soman et al.'s GPU connected components (IPDPSW 2010), as described in
+//! the paper's §2: iterated Shiloach–Vishkin with three improvements —
+//! hooking operates on the *representatives* of the edge endpoints, edges
+//! whose endpoints are already connected are marked and skipped in later
+//! iterations, and a single **multiple pointer jumping** pass flattens all
+//! paths after each hooking round.
+
+use super::{upload_edge_list, GpuBaselineRun};
+use ecl_cc::gpu::warp_ops::{warp_find, warp_walk};
+use ecl_cc::CcResult;
+use ecl_gpu_sim::{Gpu, Lanes, LANES};
+use ecl_graph::CsrGraph;
+use ecl_unionfind::concurrent::JumpKind;
+
+/// Runs Soman-style CC; returns the labeling and all kernel stats.
+pub fn run(gpu: &mut Gpu, g: &CsrGraph) -> GpuBaselineRun {
+    let n = g.num_vertices();
+    let kernels_before = gpu.kernel_stats().len();
+    let (src, dst, m) = upload_edge_list(gpu, g);
+    let parent = gpu.alloc_from(&(0..n as u32).collect::<Vec<_>>());
+    let done = gpu.alloc(m.max(1));
+    let changed = gpu.alloc(1);
+
+    let nu = n as u32;
+    let mu = m as u32;
+    let total_v = gpu.suggested_threads(n.max(1));
+    let total_e = gpu.suggested_threads(m.max(1));
+
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        gpu.upload(changed, &[0]);
+
+        // --- hooking over unmarked edges ---------------------------------
+        let stride = total_e as u32;
+        gpu.launch_warps("soman_hook", total_e, |w| {
+            let mut e = w.thread_ids();
+            loop {
+                let m_act = w.launch_mask() & e.lt_scalar(mu);
+                if m_act.none() {
+                    return;
+                }
+                let flag = w.load(done, &e, m_act);
+                let live = m_act & flag.eq_mask(&Lanes::splat(0));
+                if live.any() {
+                    let u = w.load(src, &e, live);
+                    let v = w.load(dst, &e, live);
+                    let pu = w.load(parent, &u, live);
+                    let pv = w.load(parent, &v, live);
+                    let same = live & pu.eq_mask(&pv);
+                    // Mark connected edges done; they are skipped next round.
+                    w.store(done, &e, &Lanes::splat(1), same);
+                    let diff = live & !same;
+                    if diff.any() {
+                        // SV hooking rule (§2): "if the parent with the
+                        // higher ID is a representative, it is made to
+                        // point to the other parent" — the root check
+                        // costs an extra load, and edges whose higher
+                        // parent is mid-path wait for a later iteration.
+                        let hi = pu.zip(&pv, u32::max);
+                        let lo = pu.zip(&pv, u32::min);
+                        let ph = w.load(parent, &hi, diff);
+                        let is_root = diff & ph.eq_mask(&hi);
+                        if is_root.any() {
+                            let _ = w.atomic_min(parent, &hi, &lo, is_root);
+                        }
+                        w.store(changed, &Lanes::splat(0), &Lanes::splat(1), diff);
+                    }
+                    w.alu(4);
+                }
+                e = e.add_scalar(stride);
+                w.alu(1);
+            }
+        });
+
+        // --- multiple pointer jumping over all vertices -------------------
+        let stride_v = total_v as u32;
+        gpu.launch_warps("soman_jump", total_v, |w| {
+            let mut v = w.thread_ids();
+            loop {
+                let m_act = w.launch_mask() & v.lt_scalar(nu);
+                if m_act.none() {
+                    return;
+                }
+                let _ = warp_find(w, parent, &v, m_act, JumpKind::Multiple);
+                v = v.add_scalar(stride_v);
+                w.alu(1);
+            }
+        });
+
+        if gpu.download(changed)[0] == 0 {
+            break;
+        }
+        assert!(iterations <= n + 2, "Soman failed to converge");
+    }
+
+    // Final flatten so every label is a root (jump already flattened, but
+    // a last pass guards against the final iteration's hooks).
+    let stride_v = total_v as u32;
+    gpu.launch_warps("soman_final", total_v, |w| {
+        let mut v = w.thread_ids();
+        loop {
+            let m_act = w.launch_mask() & v.lt_scalar(nu);
+            if m_act.none() {
+                return;
+            }
+            let root = warp_walk(w, parent, &v, m_act);
+            w.store(parent, &v, &root, m_act & root.ne_mask(&v));
+            v = v.add_scalar(stride_v);
+            w.alu(1);
+        }
+    });
+
+    let labels = if n == 0 {
+        Vec::new()
+    } else {
+        gpu.download(parent)[..n].to_vec()
+    };
+    let _ = LANES;
+    GpuBaselineRun {
+        result: CcResult::new(labels),
+        kernels: gpu.kernel_stats()[kernels_before..].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::test_support::test_graphs;
+    use ecl_gpu_sim::DeviceProfile;
+
+    #[test]
+    fn verifies_on_all_shapes() {
+        for (name, g) in test_graphs() {
+            let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+            let run = run(&mut gpu, &g);
+            run.result.verify(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn labels_are_roots() {
+        let g = ecl_graph::generate::gnm_random(300, 800, 3);
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let run = run(&mut gpu, &g);
+        for (v, &l) in run.result.labels.iter().enumerate() {
+            assert_eq!(run.result.labels[l as usize], l, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn iterates_hook_jump_rounds() {
+        // SV iterates (hook, jump) rounds to a fixpoint: at least two
+        // rounds plus the final flatten must appear, and the whole run
+        // must cost more cycles than single-pass ECL-CC.
+        let g = ecl_graph::generate::path(512);
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let soman = run(&mut gpu, &g);
+        let hooks = soman.kernels.iter().filter(|k| k.name == "soman_hook").count();
+        assert!(hooks >= 2, "expected ≥ 2 hooking rounds, got {hooks}");
+        let mut gpu2 = Gpu::new(DeviceProfile::test_tiny());
+        let (ecl, s) = ecl_cc::gpu::run(&mut gpu2, &g, &ecl_cc::EclConfig::default());
+        ecl.verify(&g).unwrap();
+        let ecl_cycles: u64 = s.kernels.iter().map(|k| k.cycles).sum();
+        assert!(
+            soman.total_cycles() > ecl_cycles,
+            "soman {} vs ecl {}",
+            soman.total_cycles(),
+            ecl_cycles
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = ecl_graph::generate::rmat(8, 8, ecl_graph::generate::RmatParams::GALOIS, 5);
+        let mut g1 = Gpu::new(DeviceProfile::test_tiny());
+        let mut g2 = Gpu::new(DeviceProfile::test_tiny());
+        let a = run(&mut g1, &g);
+        let b = run(&mut g2, &g);
+        assert_eq!(a.result.labels, b.result.labels);
+        assert_eq!(a.total_cycles(), b.total_cycles());
+    }
+}

@@ -1,0 +1,28 @@
+//! Reimplementations of every connected-components code the paper
+//! compares against (Table 1), each built from its published description
+//! on the same substrates as ECL-CC so the comparisons measure the
+//! *algorithms*:
+//!
+//! * **GPU codes** (on the SIMT simulator): [`gpu::soman`] (Shiloach–
+//!   Vishkin with edge marking and multiple pointer jumping),
+//!   [`gpu::groute`] (segmented atomic hooking), [`gpu::gunrock`]
+//!   (filter-based SV), [`gpu::irgl`] (compiler-generated SV: unfused
+//!   passes, no edge marking).
+//! * **Parallel CPU codes**: [`cpu::label_prop`] (Ligra+ Comp),
+//!   [`cpu::bfscc`] (Ligra+ BFSCC), [`cpu::multistep`], [`cpu::crono`]
+//!   (SV, including its n·dmax memory blow-up failure mode),
+//!   [`cpu::galois_async`] (asynchronous union-find), [`cpu::ndhybrid`]
+//!   (low-diameter-decomposition hybrid).
+//! * **Serial CPU codes**: [`serial::dfs_cc`] (Boost-style),
+//!   [`serial::bfs_cc`] (Lemon-style), [`serial::igraph_cc`],
+//!   [`serial::unionfind_cc`] (Galois serial).
+//!
+//! Every function returns a [`ecl_cc::CcResult`] whose partition is
+//! verified against the BFS reference in the test suites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod gpu;
+pub mod serial;

@@ -1,0 +1,127 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! harness [EXPERIMENT ...] [--scale tiny|bench|large] [--threads N]
+//!
+//! Experiments:
+//!   table2  fig7  fig8  table3  table4  fig9  fig10
+//!   table5  table6  table7  table8  table9  table10  fig17
+//!   internals   (= fig7 fig8 table3 table4 fig9 fig10)
+//!   all         (everything)
+//! ```
+//!
+//! Absolute GPU numbers are simulated cycles converted at the device
+//! clock; CPU numbers are host wall-clock. The paper's figures are all
+//! *normalized* ratios, which is what these tables reproduce.
+
+use ecl_bench::experiments as exp;
+use ecl_gpu_sim::DeviceProfile;
+use ecl_graph::catalog::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Bench;
+    let mut threads: Option<usize> = None;
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("bench") => Scale::Bench,
+                    Some("large") => Scale::Large,
+                    other => {
+                        eprintln!("unknown scale {other:?} (tiny|bench|large)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--threads" => {
+                threads = it.next().and_then(|s| s.parse().ok());
+                if threads.is_none() {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: harness [EXPERIMENT ...] [--scale tiny|bench|large] [--threads N]");
+                println!("experiments: table1 table2 fig7 fig8 table3 table4 fig9 fig10 table5 table6");
+                println!("             table7 table8 table9 table10 fig17 ordering internals all");
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        selected.push("all".into());
+    }
+
+    let host_threads = ecl_parallel::default_threads();
+    // The paper's two CPU hosts expose 40 (E5-2687W, HT) and 12 (X5690)
+    // hardware threads; oversubscription on a smaller host still exercises
+    // the same scheduling paths.
+    let t_big = threads.unwrap_or_else(|| host_threads.max(8));
+    let t_small = threads.unwrap_or_else(|| (host_threads.max(8) / 3).max(2));
+
+    let titan = DeviceProfile::titan_x();
+    let k40 = DeviceProfile::k40();
+
+    let expand = |name: &str| -> Vec<&'static str> {
+        match name {
+            "internals" => vec!["fig7", "fig8", "table3", "table4", "fig9", "fig10"],
+            "all" => vec![
+                "table1", "table2", "fig7", "fig8", "table3", "table4", "fig9", "fig10", "table5",
+                "table6", "table7", "table8", "table9", "table10", "fig17", "ordering",
+            ],
+            "table1" => vec!["table1"],
+            "table2" => vec!["table2"],
+            "fig7" => vec!["fig7"],
+            "fig8" => vec!["fig8"],
+            "table3" => vec!["table3"],
+            "table4" => vec!["table4"],
+            "fig9" => vec!["fig9"],
+            "fig10" => vec!["fig10"],
+            "table5" | "fig11" => vec!["table5"],
+            "table6" | "fig12" => vec!["table6"],
+            "table7" | "fig13" => vec!["table7"],
+            "table8" | "fig14" => vec!["table8"],
+            "table9" | "fig15" => vec!["table9"],
+            "table10" | "fig16" => vec!["table10"],
+            "fig17" => vec!["fig17"],
+            "ordering" => vec!["ordering"],
+            other => {
+                eprintln!("unknown experiment '{other}' (see --help)");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let todo: Vec<&str> = selected.iter().flat_map(|s| expand(s)).collect();
+    println!(
+        "# ECL-CC reproduction harness — scale {scale:?}, host threads {host_threads}, \
+         CPU configs: {t_big} / {t_small} threads"
+    );
+    for item in todo {
+        match item {
+            "table1" => exp::table1(),
+            "table2" => exp::table2(scale),
+            "fig7" => exp::fig7(scale, &titan),
+            "fig8" => exp::fig8(scale, &titan),
+            "table3" => exp::table3(scale, &titan),
+            "table4" => exp::table4(scale, &titan),
+            "fig9" => exp::fig9(scale, &titan),
+            "fig10" => exp::fig10(scale, &titan),
+            "table5" => exp::gpu_comparison(scale, &titan),
+            "table6" => exp::gpu_comparison(scale, &k40),
+            "table7" => exp::cpu_parallel_comparison(scale, t_big, "Table 7 / Fig. 13"),
+            "table8" => exp::cpu_parallel_comparison(scale, t_small, "Table 8 / Fig. 14"),
+            "table9" => exp::serial_comparison(scale, "Table 9 / Fig. 15"),
+            "table10" => exp::serial_comparison(scale, "Table 10 / Fig. 16 (same host; see EXPERIMENTS.md)"),
+            "fig17" => exp::fig17(scale, t_big),
+            "ordering" => exp::ordering(scale, &titan),
+            _ => unreachable!(),
+        }
+    }
+}

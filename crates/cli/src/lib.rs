@@ -1,0 +1,241 @@
+//! Implementation of the `ecl-cc` command-line tool (thin `main` in
+//! `main.rs`; everything testable lives here).
+//!
+//! Subcommands:
+//!
+//! * `components <file>` — label the components of a graph file,
+//! * `stats <file>` — print the Table 2 row for a graph file,
+//! * `generate <catalog-name> -o <file>` — write a catalog stand-in,
+//! * `convert <in> <out>` — transcode between graph formats,
+//! * `compare <file>` — run every algorithm on the input and report
+//!   agreement and timings.
+//!
+//! Formats are inferred from extensions: `.el`/`.txt` edge list, `.gr`
+//! DIMACS, `.mtx` Matrix Market, `.ecl` binary CSR.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ecl_cc::{CcResult, EclConfig};
+use ecl_gpu_sim::{DeviceProfile, Gpu};
+use ecl_graph::{io, CsrGraph};
+use std::path::Path;
+
+/// Graph file formats the CLI reads and writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Whitespace edge list (`u v` per line).
+    EdgeList,
+    /// DIMACS `.gr`.
+    Dimacs,
+    /// Matrix Market coordinate.
+    MatrixMarket,
+    /// ECLCSR01 binary.
+    Binary,
+    /// Galois binary `.gr` (version 1).
+    GaloisGr,
+}
+
+impl Format {
+    /// Infers the format from a file extension; `None` if unknown.
+    pub fn from_path(path: &Path) -> Option<Format> {
+        match path.extension()?.to_str()? {
+            "el" | "txt" | "edges" => Some(Format::EdgeList),
+            "gr" | "dimacs" => Some(Format::Dimacs),
+            "mtx" | "mm" => Some(Format::MatrixMarket),
+            "ecl" | "bin" => Some(Format::Binary),
+            "sgr" | "vgr" => Some(Format::GaloisGr),
+            _ => None,
+        }
+    }
+
+    /// Parses an explicit `--format` value.
+    pub fn from_name(name: &str) -> Option<Format> {
+        match name {
+            "edgelist" | "el" => Some(Format::EdgeList),
+            "dimacs" | "gr" => Some(Format::Dimacs),
+            "matrixmarket" | "mtx" => Some(Format::MatrixMarket),
+            "binary" | "ecl" => Some(Format::Binary),
+            "galois" | "sgr" => Some(Format::GaloisGr),
+            _ => None,
+        }
+    }
+}
+
+/// Reads a graph file in the given (or inferred) format.
+pub fn read_graph(path: &Path, format: Option<Format>) -> Result<CsrGraph, String> {
+    let format = format
+        .or_else(|| Format::from_path(path))
+        .ok_or_else(|| format!("cannot infer format of {}; pass --format", path.display()))?;
+    let file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let reader = std::io::BufReader::new(file);
+    let res = match format {
+        Format::EdgeList => io::read_edge_list(reader),
+        Format::Dimacs => io::read_dimacs(reader),
+        Format::MatrixMarket => io::read_matrix_market(reader),
+        Format::Binary => io::read_binary(reader),
+        Format::GaloisGr => io::read_galois_gr(reader),
+    };
+    res.map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Writes a graph file in the given (or inferred) format.
+pub fn write_graph(g: &CsrGraph, path: &Path, format: Option<Format>) -> Result<(), String> {
+    let format = format
+        .or_else(|| Format::from_path(path))
+        .ok_or_else(|| format!("cannot infer format of {}; pass --format", path.display()))?;
+    let file = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut writer = std::io::BufWriter::new(file);
+    let res = match format {
+        Format::EdgeList => io::write_edge_list(g, &mut writer),
+        Format::Binary => io::write_binary(g, &mut writer),
+        Format::GaloisGr => io::write_galois_gr(g, &mut writer),
+        Format::Dimacs => {
+            use std::io::Write;
+            (|| {
+                writeln!(writer, "c written by ecl-cc")?;
+                writeln!(writer, "p sp {} {}", g.num_vertices(), g.num_directed_edges())?;
+                for (u, v) in g.directed_edges() {
+                    writeln!(writer, "a {} {} 1", u + 1, v + 1)?;
+                }
+                Ok(())
+            })()
+        }
+        Format::MatrixMarket => {
+            use std::io::Write;
+            (|| {
+                writeln!(writer, "%%MatrixMarket matrix coordinate pattern symmetric")?;
+                writeln!(writer, "{} {} {}", g.num_vertices(), g.num_vertices(), g.num_edges())?;
+                for (u, v) in g.edges() {
+                    writeln!(writer, "{} {}", v + 1, u + 1)?;
+                }
+                Ok(())
+            })()
+        }
+    };
+    res.map_err(|e: std::io::Error| format!("{}: {e}", path.display()))
+}
+
+/// Algorithms selectable via `--algo`.
+pub const ALGORITHMS: &[&str] = &[
+    "serial", "parallel", "gpu", "soman", "groute", "gunrock", "irgl", "bfscc", "label-prop",
+    "bfscc-hybrid", "afforest", "multistep", "crono", "galois", "ndhybrid", "dfs", "bfs",
+    "igraph", "unionfind",
+];
+
+/// Runs the named algorithm; `Err` on unknown names or refusals.
+pub fn run_algorithm(name: &str, g: &CsrGraph, threads: usize) -> Result<CcResult, String> {
+    let gpu_run = |f: fn(&mut Gpu, &CsrGraph) -> ecl_baselines::gpu::GpuBaselineRun| {
+        let mut gpu = Gpu::new(DeviceProfile::titan_x());
+        f(&mut gpu, g).result
+    };
+    Ok(match name {
+        "serial" => ecl_cc::serial::run(g, &EclConfig::default()),
+        "parallel" => ecl_cc::parallel::run(g, threads, &EclConfig::default()),
+        "gpu" => {
+            let mut gpu = Gpu::new(DeviceProfile::titan_x());
+            ecl_cc::gpu::run(&mut gpu, g, &EclConfig::default()).0
+        }
+        "soman" => gpu_run(ecl_baselines::gpu::soman::run),
+        "groute" => gpu_run(ecl_baselines::gpu::groute::run),
+        "gunrock" => gpu_run(ecl_baselines::gpu::gunrock::run),
+        "irgl" => gpu_run(ecl_baselines::gpu::irgl::run),
+        "bfscc" => ecl_baselines::cpu::bfscc::run(g, threads),
+        "bfscc-hybrid" => ecl_baselines::cpu::bfscc::run_direction_optimizing(g, threads),
+        "afforest" => ecl_baselines::cpu::afforest::run(g, threads),
+        "label-prop" => ecl_baselines::cpu::label_prop::run(g, threads),
+        "multistep" => ecl_baselines::cpu::multistep::run(g, threads),
+        "crono" => ecl_baselines::cpu::crono::run(g, threads)
+            .ok_or("crono: input exceeds the n x dmax memory model")?,
+        "galois" => ecl_baselines::cpu::galois_async::run(g, threads),
+        "ndhybrid" => ecl_baselines::cpu::ndhybrid::run(g, threads),
+        "dfs" => ecl_baselines::serial::dfs_cc(g),
+        "bfs" => ecl_baselines::serial::bfs_cc(g),
+        "igraph" => ecl_baselines::serial::igraph_cc(g),
+        "unionfind" => ecl_baselines::serial::unionfind_cc(g),
+        other => return Err(format!("unknown algorithm '{other}' (try: {})", ALGORITHMS.join(", "))),
+    })
+}
+
+/// Resolves a catalog graph name (Table 2 name) and scale string.
+pub fn generate_catalog(name: &str, scale: &str) -> Result<CsrGraph, String> {
+    use ecl_graph::catalog::{PaperGraph, Scale};
+    let scale = match scale {
+        "tiny" => Scale::Tiny,
+        "bench" => Scale::Bench,
+        "large" => Scale::Large,
+        other => return Err(format!("unknown scale '{other}' (tiny|bench|large)")),
+    };
+    let pg = PaperGraph::ALL
+        .iter()
+        .find(|p| p.info().name == name)
+        .ok_or_else(|| {
+            let names: Vec<_> = PaperGraph::ALL.iter().map(|p| p.info().name).collect();
+            format!("unknown graph '{name}' (available: {})", names.join(", "))
+        })?;
+    Ok(pg.generate(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_inference() {
+        assert_eq!(Format::from_path(Path::new("a.el")), Some(Format::EdgeList));
+        assert_eq!(Format::from_path(Path::new("a.gr")), Some(Format::Dimacs));
+        assert_eq!(Format::from_path(Path::new("a.mtx")), Some(Format::MatrixMarket));
+        assert_eq!(Format::from_path(Path::new("a.ecl")), Some(Format::Binary));
+        assert_eq!(Format::from_path(Path::new("a.xyz")), None);
+        assert_eq!(Format::from_path(Path::new("noext")), None);
+        assert_eq!(Format::from_name("edgelist"), Some(Format::EdgeList));
+        assert_eq!(Format::from_name("nope"), None);
+    }
+
+    #[test]
+    fn file_roundtrip_all_formats() {
+        let g = ecl_graph::generate::gnm_random(60, 150, 1);
+        let dir = std::env::temp_dir().join("ecl_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for ext in ["el", "gr", "mtx", "ecl", "sgr"] {
+            let path = dir.join(format!("g.{ext}"));
+            write_graph(&g, &path, None).unwrap();
+            let g2 = read_graph(&path, None).unwrap();
+            // Edge sets must match (edge list may drop trailing isolated
+            // vertices; this graph has none with high probability).
+            assert_eq!(
+                g.edges().collect::<Vec<_>>(),
+                g2.edges().collect::<Vec<_>>(),
+                "{ext}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_algorithm_runs() {
+        let g = ecl_graph::generate::gnm_random(120, 300, 2);
+        let reference = ecl_graph::stats::canonicalize_labels(&ecl_graph::stats::reference_labels(&g));
+        for &name in ALGORITHMS {
+            let r = run_algorithm(name, &g, 2).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                ecl_graph::stats::canonicalize_labels(&r.labels),
+                reference,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_rejected() {
+        let g = ecl_graph::generate::path(4);
+        assert!(run_algorithm("quantum", &g, 1).is_err());
+    }
+
+    #[test]
+    fn catalog_generation() {
+        let g = generate_catalog("rmat16.sym", "tiny").unwrap();
+        assert!(g.num_vertices() > 0);
+        assert!(generate_catalog("nope", "tiny").is_err());
+        assert!(generate_catalog("rmat16.sym", "huge").is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! The `ecl-cc` command-line tool. See `lib.rs` for the implementation.
+
+use ecl_cc_cli::{generate_catalog, read_graph, run_algorithm, write_graph, Format, ALGORITHMS};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const USAGE: &str = "\
+usage: ecl-cc <command> [args]
+
+commands:
+  components <file> [--algo NAME] [--threads N] [--format F] [--labels OUT]
+      label connected components (default algo: parallel)
+  stats <file> [--format F]
+      print the graph's Table-2 statistics
+  generate <catalog-name> -o <file> [--scale tiny|bench|large]
+      write a synthetic stand-in for one of the paper's inputs
+  convert <in> <out> [--in-format F] [--out-format F]
+      transcode between graph formats (.el .gr .mtx .ecl)
+  compare <file> [--threads N] [--format F]
+      run every algorithm, verify agreement, report times
+  list
+      list algorithms and catalog graphs
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print!("{USAGE}");
+        return;
+    }
+    if let Err(e) = dispatch(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn fmt_flag(args: &[String], name: &str) -> Result<Option<Format>, String> {
+    match flag(args, name) {
+        None => Ok(None),
+        Some(v) => Format::from_name(&v)
+            .map(Some)
+            .ok_or_else(|| format!("unknown format '{v}'")),
+    }
+}
+
+fn positional(args: &[String], n: usize) -> Result<PathBuf, String> {
+    args.iter()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            // Drop values that follow a flag.
+            let idx = args.iter().position(|x| x == *a).unwrap();
+            idx == 0 || !args[idx - 1].starts_with("--")
+        })
+        .nth(n)
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("missing argument {}", n + 1))
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let threads: usize = flag(args, "--threads")
+        .map(|t| t.parse().map_err(|e| format!("--threads: {e}")))
+        .transpose()?
+        .unwrap_or_else(ecl_parallel::default_threads);
+    match args[0].as_str() {
+        "components" => {
+            let path = positional(args, 0)?;
+            let algo = flag(args, "--algo").unwrap_or_else(|| "parallel".into());
+            let g = read_graph(&path, fmt_flag(args, "--format")?)?;
+            let t = Instant::now();
+            let r = run_algorithm(&algo, &g, threads)?;
+            let elapsed = t.elapsed();
+            r.verify(&g).map_err(|e| format!("verification failed: {e}"))?;
+            println!(
+                "{}: {} vertices, {} edges, {} components ({algo}, {:.2} ms, verified)",
+                path.display(),
+                g.num_vertices(),
+                g.num_edges(),
+                r.num_components(),
+                elapsed.as_secs_f64() * 1e3
+            );
+            let sizes = r.component_sizes();
+            println!(
+                "largest component: {} vertices ({:.1}%)",
+                sizes.first().copied().unwrap_or(0),
+                100.0 * sizes.first().copied().unwrap_or(0) as f64 / g.num_vertices().max(1) as f64
+            );
+            if let Some(out) = flag(args, "--labels") {
+                let text: String = r
+                    .labels
+                    .iter()
+                    .enumerate()
+                    .map(|(v, l)| format!("{v} {l}\n"))
+                    .collect();
+                std::fs::write(&out, text).map_err(|e| format!("{out}: {e}"))?;
+                println!("labels written to {out}");
+            }
+            Ok(())
+        }
+        "stats" => {
+            let path = positional(args, 0)?;
+            let g = read_graph(&path, fmt_flag(args, "--format")?)?;
+            let s = ecl_graph::stats::graph_stats(&g);
+            println!("vertices:       {}", s.vertices);
+            println!("directed edges: {}", s.directed_edges);
+            println!("degree min/avg/max: {} / {:.1} / {}", s.dmin, s.davg, s.dmax);
+            println!("components:     {}", s.components);
+            Ok(())
+        }
+        "generate" => {
+            let name = positional(args, 0)?;
+            let out = flag(args, "-o").ok_or("generate needs -o <file>")?;
+            let scale = flag(args, "--scale").unwrap_or_else(|| "bench".into());
+            let g = generate_catalog(name.to_str().unwrap_or_default(), &scale)?;
+            write_graph(&g, &PathBuf::from(&out), fmt_flag(args, "--format")?)?;
+            println!(
+                "wrote {} ({} vertices, {} edges)",
+                out,
+                g.num_vertices(),
+                g.num_edges()
+            );
+            Ok(())
+        }
+        "convert" => {
+            let input = positional(args, 0)?;
+            let output = positional(args, 1)?;
+            let g = read_graph(&input, fmt_flag(args, "--in-format")?)?;
+            write_graph(&g, &output, fmt_flag(args, "--out-format")?)?;
+            println!("converted {} -> {}", input.display(), output.display());
+            Ok(())
+        }
+        "compare" => {
+            let path = positional(args, 0)?;
+            let g = read_graph(&path, fmt_flag(args, "--format")?)?;
+            println!(
+                "{}: {} vertices, {} edges — running {} algorithms",
+                path.display(),
+                g.num_vertices(),
+                g.num_edges(),
+                ALGORITHMS.len()
+            );
+            let reference = run_algorithm("serial", &g, threads)?;
+            for &name in ALGORITHMS {
+                let t = Instant::now();
+                match run_algorithm(name, &g, threads) {
+                    Ok(r) => {
+                        let ms = t.elapsed().as_secs_f64() * 1e3;
+                        let agree = ecl_graph::stats::canonicalize_labels(&r.labels)
+                            == ecl_graph::stats::canonicalize_labels(&reference.labels);
+                        println!(
+                            "  {name:<11} {ms:>9.2} ms  {} components  {}",
+                            r.num_components(),
+                            if agree { "agrees" } else { "DISAGREES" }
+                        );
+                    }
+                    Err(e) => println!("  {name:<11} n/a ({e})"),
+                }
+            }
+            Ok(())
+        }
+        "list" => {
+            println!("algorithms: {}", ALGORITHMS.join(", "));
+            println!("catalog graphs:");
+            for pg in ecl_graph::catalog::PaperGraph::ALL {
+                let i = pg.info();
+                println!("  {:<18} {} ({})", i.name, i.class, i.paper_vertices);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}

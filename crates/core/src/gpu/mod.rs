@@ -1,0 +1,495 @@
+//! ECL-CC on the simulated GPU — the paper's headline implementation.
+//!
+//! The five-kernel structure of §3:
+//!
+//! 1. `init` — thread granularity, grid-stride over vertices; writes each
+//!    vertex's starting parent per the configured [`InitKind`].
+//! 2. `compute1` — thread granularity; processes vertices of degree ≤ 16
+//!    immediately and routes larger ones into the **double-sided
+//!    worklist**: medium-degree vertices (17–352) to the front, high-
+//!    degree vertices (> 352) to the back, via `atomicAdd` cursors.
+//! 3. `compute2` — warp granularity; each warp processes the edge list of
+//!    one medium-degree vertex, 32 edges at a time.
+//! 4. `compute3` — block granularity; each thread block processes one
+//!    high-degree vertex, 256 edges at a time.
+//! 5. `finalize` — thread granularity; short-circuits every parent to the
+//!    representative per the configured [`FiniKind`].
+//!
+//! All three compute kernels share the warp-vector `find`/`hook` from
+//! [`warp_ops`] (the paper's Figs. 5 and 6).
+
+pub mod warp_ops;
+
+use crate::config::{EclConfig, FiniKind, InitKind};
+use crate::result::CcResult;
+use ecl_gpu_sim::{Gpu, KernelStats, Lanes, Mask, LANES};
+use ecl_unionfind::concurrent::JumpKind;
+use warp_ops::{probe_path_lengths, warp_find, warp_find_intermediate, warp_hook, warp_walk};
+
+/// Accumulated parent-path-length statistics (Table 4) gathered by the
+/// untimed probe ahead of every computation-phase find.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathLengthStats {
+    /// Sum of sampled path lengths.
+    pub sum: u64,
+    /// Number of samples (finds).
+    pub samples: u64,
+    /// Maximum observed path length.
+    pub max: u32,
+}
+
+impl PathLengthStats {
+    /// Average path length over all finds.
+    pub fn average(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    fn absorb(&mut self, lens: &Lanes, mask: Mask) {
+        for lane in mask.iter() {
+            let l = lens.get(lane);
+            self.sum += l as u64;
+            self.samples += 1;
+            self.max = self.max.max(l);
+        }
+    }
+}
+
+/// Everything measured during one GPU ECL-CC run.
+#[derive(Clone, Debug)]
+pub struct GpuRunStats {
+    /// Per-kernel stats in launch order: init, compute1, compute2,
+    /// compute3, finalize.
+    pub kernels: Vec<KernelStats>,
+    /// Vertices routed to the warp-granularity kernel.
+    pub worklist_mid: usize,
+    /// Vertices routed to the block-granularity kernel.
+    pub worklist_big: usize,
+    /// Path-length statistics, present when
+    /// [`EclConfig::record_path_lengths`] was set.
+    pub path_lengths: Option<PathLengthStats>,
+}
+
+impl GpuRunStats {
+    /// Total simulated cycles across the five kernels.
+    pub fn total_cycles(&self) -> u64 {
+        self.kernels.iter().map(|k| k.cycles).sum()
+    }
+
+    /// Sum of L2 read accesses over all kernels.
+    pub fn l2_reads(&self) -> u64 {
+        self.kernels.iter().map(|k| k.l2_read_accesses).sum()
+    }
+
+    /// Sum of L2 write accesses over all kernels.
+    pub fn l2_writes(&self) -> u64 {
+        self.kernels.iter().map(|k| k.l2_write_accesses).sum()
+    }
+
+    /// Stats of the kernel with the given name, if present.
+    pub fn kernel(&self, name: &str) -> Option<&KernelStats> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+/// Runs GPU ECL-CC for `g` on `gpu` under `cfg`; returns the labeling and
+/// the run's statistics. The graph is uploaded (untimed) at the start and
+/// the labels downloaded (untimed) at the end, matching the paper's
+/// measurement protocol ("we assume the graph to already be on the GPU",
+/// §4).
+pub fn run(gpu: &mut Gpu, g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult, GpuRunStats) {
+    let n = g.num_vertices();
+    assert!(
+        g.num_directed_edges() < u32::MAX as usize && n < u32::MAX as usize,
+        "graph too large for 32-bit device indices"
+    );
+    let kernels_before = gpu.kernel_stats().len();
+
+    // ---- device buffers (uploads are untimed, like a prior memcpy) ----
+    let nidx_host: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
+    let nidx = gpu.alloc_from(&nidx_host);
+    let nlist = gpu.alloc_from(g.adjacency());
+    let parent = gpu.alloc(n.max(1));
+    let wl = gpu.alloc(n.max(1));
+    let wlctr = gpu.alloc(2);
+
+    let mut paths = cfg.record_path_lengths.then(PathLengthStats::default);
+
+    let nu = n as u32;
+    let total = gpu.suggested_threads(n.max(1));
+    let stride = total as u32;
+
+    // ---------------- kernel 1: init ----------------------------------
+    let init_kind = cfg.init;
+    gpu.launch_warps("init", total, |w| {
+        let mut v = w.thread_ids();
+        loop {
+            let m = w.launch_mask() & v.lt_scalar(nu);
+            if m.none() {
+                return;
+            }
+            let label = match init_kind {
+                InitKind::VertexId => v,
+                InitKind::MinNeighbor | InitKind::FirstSmaller => {
+                    let beg = w.load(nidx, &v, m);
+                    let end = w.load(nidx, &v.add_scalar(1), m);
+                    let mut label = v;
+                    let mut i = beg;
+                    let mut scan = m & i.lt(&end);
+                    while scan.any() {
+                        let nb = w.load(nlist, &i, scan);
+                        match init_kind {
+                            InitKind::MinNeighbor => {
+                                let less = scan & nb.lt(&label);
+                                label.assign_masked(&nb, less);
+                            }
+                            _ => {
+                                // First neighbor smaller than v: record it
+                                // and retire the lane.
+                                let found = scan & nb.lt(&v);
+                                label.assign_masked(&nb, found);
+                                scan &= !found;
+                            }
+                        }
+                        i = i.add_scalar(1);
+                        scan &= i.lt(&end);
+                        w.alu(2);
+                    }
+                    label
+                }
+            };
+            w.store(parent, &v, &label, m);
+            v = v.add_scalar(stride);
+            w.alu(1);
+        }
+    });
+
+    // ---------------- kernel 2: compute1 (thread granularity) ----------
+    let jump = cfg.jump;
+    let warp_thresh = cfg.warp_threshold as u32;
+    let block_thresh = cfg.block_threshold as u32;
+    gpu.launch_warps("compute1", total, |w| {
+        let mut v = w.thread_ids();
+        loop {
+            let m = w.launch_mask() & v.lt_scalar(nu);
+            if m.none() {
+                return;
+            }
+            let beg = w.load(nidx, &v, m);
+            let end = w.load(nidx, &v.add_scalar(1), m);
+            let deg = end.zip(&beg, u32::wrapping_sub);
+            w.alu(2);
+
+            // Route medium-degree vertices to the worklist front.
+            let mid = m & deg.gt(&Lanes::splat(warp_thresh)) & deg.le(&Lanes::splat(block_thresh));
+            if mid.any() {
+                let slot = w.atomic_add(wlctr, &Lanes::splat(0), &Lanes::splat(1), mid);
+                w.store(wl, &slot, &v, mid);
+            }
+            // Route high-degree vertices to the worklist back.
+            let big = m & deg.gt(&Lanes::splat(block_thresh));
+            if big.any() {
+                let taken = w.atomic_add(wlctr, &Lanes::splat(1), &Lanes::splat(1), big);
+                let slot = taken.map(|t| nu - 1 - t);
+                w.store(wl, &slot, &v, big);
+            }
+
+            // Process low-degree vertices immediately.
+            let small = m & deg.le(&Lanes::splat(warp_thresh));
+            if small.any() {
+                if let Some(acc) = paths.as_mut() {
+                    acc.absorb(&probe_path_lengths(w, parent, &v, small), small);
+                }
+                let mut v_rep = warp_find(w, parent, &v, small, jump);
+                let mut i = beg;
+                let mut e = small & i.lt(&end);
+                while e.any() {
+                    let u = w.load(nlist, &i, e);
+                    // Only one direction of each undirected edge (v > u).
+                    let proc = e & u.lt(&v);
+                    if proc.any() {
+                        if let Some(acc) = paths.as_mut() {
+                            acc.absorb(&probe_path_lengths(w, parent, &u, proc), proc);
+                        }
+                        let u_rep = warp_find(w, parent, &u, proc, jump);
+                        let merged = warp_hook(w, parent, &u_rep, &v_rep, proc);
+                        v_rep.assign_masked(&merged, proc);
+                    }
+                    i = i.add_scalar(1);
+                    e &= i.lt(&end);
+                    w.alu(2);
+                }
+            }
+            v = v.add_scalar(stride);
+            w.alu(1);
+        }
+    });
+
+    // Worklist sizes become known to the host here (the CUDA code reads
+    // them in-kernel; reading them between launches is untimed either way).
+    let ctr = gpu.download(wlctr);
+    let (mid_count, big_count) = (ctr[0], ctr[1]);
+
+    // ---------------- kernel 3: compute2 (warp granularity) ------------
+    gpu.launch_warps("compute2", total, |w| {
+        let num_warps = (w.total_threads() as usize / LANES) as u32;
+        let mut wi = w.thread_ids().get(0) / LANES as u32;
+        while wi < mid_count {
+            let v = w.load_uniform(wl, wi);
+            let beg = w.load_uniform(nidx, v);
+            let end = w.load_uniform(nidx, v + 1);
+            if let Some(acc) = paths.as_mut() {
+                acc.absorb(&probe_path_lengths(w, parent, &Lanes::splat(v), Mask(1)), Mask(1));
+            }
+            let v_rep0 = warp_find(w, parent, &Lanes::splat(v), Mask(1), jump).get(0);
+            let mut v_rep = Lanes::splat(v_rep0);
+            let vv = Lanes::splat(v);
+            let mut base = beg;
+            while base < end {
+                let idx = Lanes::iota(base, 1);
+                let m = idx.lt_scalar(end);
+                let u = w.load(nlist, &idx, m);
+                let proc = m & u.lt(&vv);
+                if proc.any() {
+                    if let Some(acc) = paths.as_mut() {
+                        acc.absorb(&probe_path_lengths(w, parent, &u, proc), proc);
+                    }
+                    let u_rep = warp_find(w, parent, &u, proc, jump);
+                    let merged = warp_hook(w, parent, &u_rep, &v_rep, proc);
+                    v_rep.assign_masked(&merged, proc);
+                }
+                base += LANES as u32;
+                w.alu(2);
+            }
+            wi += num_warps;
+            w.alu(1);
+        }
+    });
+
+    // ---------------- kernel 4: compute3 (block granularity) -----------
+    let nblocks = (gpu.profile().num_sms * 4).max(1);
+    let tpb = gpu.profile().threads_per_block as u32;
+    gpu.launch_blocks("compute3", nblocks, |b| {
+        let mut j = b.block_idx() as u32;
+        let step = b.num_blocks() as u32;
+        while j < big_count {
+            let v = b.load_uniform(wl, nu - 1 - j);
+            let beg = b.load_uniform(nidx, v);
+            let end = b.load_uniform(nidx, v + 1);
+            b.for_each_warp(|w| {
+                let warp_in_block = (w.thread_ids().get(0) % tpb) / LANES as u32;
+                if let Some(acc) = paths.as_mut() {
+                    if warp_in_block == 0 {
+                        acc.absorb(
+                            &probe_path_lengths(w, parent, &Lanes::splat(v), Mask(1)),
+                            Mask(1),
+                        );
+                    }
+                }
+                let v_rep0 = warp_find(w, parent, &Lanes::splat(v), Mask(1), jump).get(0);
+                let mut v_rep = Lanes::splat(v_rep0);
+                let vv = Lanes::splat(v);
+                let mut base = beg + warp_in_block * LANES as u32;
+                while base < end {
+                    let idx = Lanes::iota(base, 1);
+                    let m = idx.lt_scalar(end);
+                    let u = w.load(nlist, &idx, m);
+                    let proc = m & u.lt(&vv);
+                    if proc.any() {
+                        if let Some(acc) = paths.as_mut() {
+                            acc.absorb(&probe_path_lengths(w, parent, &u, proc), proc);
+                        }
+                        let u_rep = warp_find(w, parent, &u, proc, jump);
+                        let merged = warp_hook(w, parent, &u_rep, &v_rep, proc);
+                        v_rep.assign_masked(&merged, proc);
+                    }
+                    base += tpb;
+                    w.alu(2);
+                }
+            });
+            j += step;
+        }
+    });
+
+    // ---------------- kernel 5: finalize -------------------------------
+    let fini = cfg.fini;
+    gpu.launch_warps("finalize", total, |w| {
+        let mut v = w.thread_ids();
+        loop {
+            let m = w.launch_mask() & v.lt_scalar(nu);
+            if m.none() {
+                return;
+            }
+            match fini {
+                FiniKind::Single => {
+                    let root = warp_walk(w, parent, &v, m);
+                    let moved = m & root.ne_mask(&v);
+                    w.store(parent, &v, &root, moved);
+                }
+                FiniKind::Intermediate => {
+                    let root = warp_find_intermediate(w, parent, &v, m);
+                    let moved = m & root.ne_mask(&v);
+                    w.store(parent, &v, &root, moved);
+                }
+                FiniKind::Multiple => {
+                    let _ = warp_find(w, parent, &v, m, JumpKind::Multiple);
+                }
+            }
+            v = v.add_scalar(stride);
+            w.alu(1);
+        }
+    });
+
+    let labels = if n == 0 {
+        Vec::new()
+    } else {
+        gpu.download(parent)[..n].to_vec()
+    };
+    let stats = GpuRunStats {
+        kernels: gpu.kernel_stats()[kernels_before..].to_vec(),
+        worklist_mid: mid_count as usize,
+        worklist_big: big_count as usize,
+        path_lengths: paths,
+    };
+    (CcResult::new(labels), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_gpu_sim::DeviceProfile;
+    use ecl_graph::generate;
+
+    fn run_on(g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult, GpuRunStats) {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        run(&mut gpu, g, cfg)
+    }
+
+    fn check(g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> GpuRunStats {
+        let (r, s) = run_on(g, cfg);
+        r.verify(g).unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+        for (v, &l) in r.labels.iter().enumerate() {
+            assert_eq!(r.labels[l as usize], l, "vertex {v} label not a root");
+        }
+        s
+    }
+
+    #[test]
+    fn basic_shapes_verify() {
+        let cfg = EclConfig::default();
+        check(&generate::path(200), &cfg);
+        check(&generate::cycle(100), &cfg);
+        check(&generate::disjoint_cliques(4, 8), &cfg);
+        check(&generate::grid2d(12, 12), &cfg);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let cfg = EclConfig::default();
+        let (r, _) = run_on(&ecl_graph::GraphBuilder::new(0).build(), &cfg);
+        assert!(r.labels.is_empty());
+        let (r, _) = run_on(&ecl_graph::GraphBuilder::new(3).build(), &cfg);
+        assert_eq!(r.labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn five_kernels_in_order() {
+        let s = check(&generate::gnm_random(300, 900, 1), &EclConfig::default());
+        let names: Vec<_> = s.kernels.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, ["init", "compute1", "compute2", "compute3", "finalize"]);
+    }
+
+    #[test]
+    fn star_routes_to_block_kernel() {
+        // Star center has degree 999 > 352 → worklist back; leaves are
+        // degree 1 → handled by compute1.
+        let s = check(&generate::star(1000), &EclConfig::default());
+        assert_eq!(s.worklist_big, 1);
+        assert_eq!(s.worklist_mid, 0);
+        // compute3 must have done real work.
+        assert!(s.kernel("compute3").unwrap().l2_read_accesses > 0);
+    }
+
+    #[test]
+    fn medium_degrees_route_to_warp_kernel() {
+        // Complete graph K64: every vertex degree 63 ∈ (16, 352].
+        let s = check(&generate::complete(64), &EclConfig::default());
+        assert_eq!(s.worklist_mid, 64);
+        assert_eq!(s.worklist_big, 0);
+    }
+
+    #[test]
+    fn all_variants_verify_on_random_graph() {
+        let g = generate::rmat(9, 8, generate::RmatParams::GALOIS, 3);
+        for init in [InitKind::VertexId, InitKind::MinNeighbor, InitKind::FirstSmaller] {
+            check(&g, &EclConfig::with_init(init));
+        }
+        for jump in [JumpKind::Multiple, JumpKind::Single, JumpKind::None, JumpKind::Intermediate] {
+            check(&g, &EclConfig::with_jump(jump));
+        }
+        for fini in [FiniKind::Intermediate, FiniKind::Multiple, FiniKind::Single] {
+            check(&g, &EclConfig::with_fini(fini));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = generate::kronecker(9, 8, 4);
+        let (r1, s1) = run_on(&g, &EclConfig::default());
+        let (r2, s2) = run_on(&g, &EclConfig::default());
+        assert_eq!(r1.labels, r2.labels);
+        assert_eq!(s1.total_cycles(), s2.total_cycles());
+    }
+
+    #[test]
+    fn path_probe_collects_samples() {
+        let g = generate::gnm_random(400, 1200, 7);
+        let mut cfg = EclConfig::default();
+        cfg.record_path_lengths = true;
+        let s = check(&g, &cfg);
+        let p = s.path_lengths.unwrap();
+        assert!(p.samples > 0);
+        assert!(p.average() >= 0.0);
+        // Paths during computation are short thanks to halving.
+        assert!(p.max < 64, "max path {}", p.max);
+    }
+
+    #[test]
+    fn no_jump_does_more_l2_reads_than_intermediate() {
+        // The core claim behind Fig. 8 / Table 3, in miniature.
+        let g = generate::road_network(40, 40, 0.2, 1.0, 9);
+        let s_none = check(&g, &EclConfig::with_jump(JumpKind::None));
+        let s_int = check(&g, &EclConfig::with_jump(JumpKind::Intermediate));
+        assert!(
+            s_none.l2_reads() > s_int.l2_reads(),
+            "none {} vs intermediate {}",
+            s_none.l2_reads(),
+            s_int.l2_reads()
+        );
+    }
+
+    #[test]
+    fn matches_serial_labels_exactly() {
+        // Min-wins hooking makes labels (not just partitions) canonical.
+        let g = generate::gnm_random(500, 1500, 11);
+        let (r, _) = run_on(&g, &EclConfig::default());
+        let serial = crate::serial::run(&g, &EclConfig::default());
+        assert_eq!(r.labels, serial.labels);
+    }
+
+    #[test]
+    fn custom_thresholds_respected() {
+        let mut cfg = EclConfig::default();
+        cfg.warp_threshold = 2;
+        cfg.block_threshold = 5;
+        // Path graph: interior degree 2 ≤ 2 → all compute1.
+        let s = check(&generate::path(100), &cfg);
+        assert_eq!(s.worklist_mid + s.worklist_big, 0);
+        // Star(8): center degree 7 > 5 → block kernel.
+        let s = check(&generate::star(8), &cfg);
+        assert_eq!(s.worklist_big, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! ECL-CC: the paper's connected-components algorithm, in three
+//! implementations sharing one algorithmic skeleton (§3):
+//!
+//! 1. **initialization** — each vertex's parent starts at the ID of the
+//!    first neighbor in its adjacency list that is smaller than itself
+//!    (falling back to its own ID),
+//! 2. **computation** — every undirected edge is processed exactly once
+//!    (only the `v > u` direction): both endpoints' representatives are
+//!    found with *intermediate pointer jumping* (path halving) and the
+//!    larger representative is hooked under the smaller,
+//! 3. **finalization** — every parent pointer is short-circuited to the
+//!    representative, which then serves as the component label.
+//!
+//! The three implementations:
+//!
+//! * [`serial`] — plain sequential code (the paper's ECL-CC_SER),
+//! * [`parallel`] — the OpenMP-style port on the workspace thread pool
+//!   with a lock-free atomic parent array (ECL-CC_OMP),
+//! * [`gpu`] — the five-kernel CUDA structure on the SIMT simulator
+//!   (init, three degree-bucketed compute kernels fed by a double-sided
+//!   worklist, finalize) — the paper's headline implementation.
+//!
+//! Every phase is configurable via [`config::EclConfig`] to regenerate the
+//! paper's §5.1 ablations (Init1/2/3 × Jump1/2/3/4 × Fini1/2/3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod gpu;
+pub mod incremental;
+pub mod parallel;
+pub mod result;
+pub mod serial;
+
+pub use config::{EclConfig, FiniKind, InitKind};
+pub use ecl_unionfind::concurrent::JumpKind;
+pub use result::CcResult;
+
+use ecl_graph::CsrGraph;
+
+/// Runs serial ECL-CC with the default configuration.
+pub fn connected_components(g: &CsrGraph) -> CcResult {
+    serial::run(g, &EclConfig::default())
+}
+
+/// Runs parallel (OpenMP-style) ECL-CC with the default configuration.
+pub fn connected_components_par(g: &CsrGraph, threads: usize) -> CcResult {
+    parallel::run(g, threads, &EclConfig::default())
+}

@@ -1,0 +1,290 @@
+//! ECL-CC_SER — the paper's serial CPU implementation (§3, last
+//! paragraph): same three phases and intermediate pointer jumping as the
+//! GPU code, but no atomics and no do-while retry loop (a plain store
+//! cannot fail), and no worklist.
+
+use crate::config::{EclConfig, FiniKind, InitKind};
+use crate::result::CcResult;
+use ecl_graph::{CsrGraph, Vertex};
+use ecl_unionfind::concurrent::JumpKind;
+
+/// Runs serial ECL-CC under `cfg` and returns the labeling.
+pub fn run(g: &CsrGraph, cfg: &EclConfig) -> CcResult {
+    let mut parent = init_phase(g, cfg.init);
+    compute_phase(g, &mut parent, cfg.jump);
+    finalize_phase(&mut parent, cfg.fini);
+    CcResult::new(parent)
+}
+
+/// Runs serial ECL-CC directly over a Ligra+-style compressed graph,
+/// decoding adjacency on the fly — ECL-CC's forward-only neighbor scans
+/// are exactly the access pattern delta encoding supports, so the
+/// algorithm needs no random adjacency access and no decompression
+/// buffer. (Combines the paper's algorithm with Ligra+'s representation,
+/// per §2's discussion of compressed graphs.)
+pub fn run_compressed(g: &ecl_graph::CompressedGraph, cfg: &EclConfig) -> CcResult {
+    let n = g.num_vertices();
+    let mut parent = vec![0 as Vertex; n];
+    // Initialization: the Init3 scan stops at the first smaller neighbor,
+    // decoding only a prefix of each list.
+    for v in 0..n as Vertex {
+        parent[v as usize] = match cfg.init {
+            InitKind::VertexId => v,
+            InitKind::MinNeighbor => g.neighbors(v).min().map_or(v, |m| m.min(v)),
+            InitKind::FirstSmaller => g.neighbors(v).find(|&u| u < v).unwrap_or(v),
+        };
+    }
+    // Computation: identical hooking, neighbors decoded per edge.
+    for v in 0..n as Vertex {
+        let mut v_rep = find(&mut parent, v, cfg.jump);
+        for u in g.neighbors(v) {
+            if v > u {
+                let u_rep = find(&mut parent, u, cfg.jump);
+                if v_rep != u_rep {
+                    if v_rep < u_rep {
+                        parent[u_rep as usize] = v_rep;
+                    } else {
+                        parent[v_rep as usize] = u_rep;
+                        v_rep = u_rep;
+                    }
+                }
+            }
+        }
+    }
+    finalize_phase(&mut parent, cfg.fini);
+    CcResult::new(parent)
+}
+
+/// Initialization phase: produce the starting parent array.
+pub(crate) fn init_phase(g: &CsrGraph, init: InitKind) -> Vec<Vertex> {
+    let n = g.num_vertices();
+    let mut parent = vec![0 as Vertex; n];
+    for v in 0..n as Vertex {
+        parent[v as usize] = init_label(g, v, init);
+    }
+    parent
+}
+
+/// The per-vertex initial label for each Init variant.
+#[inline]
+pub(crate) fn init_label(g: &CsrGraph, v: Vertex, init: InitKind) -> Vertex {
+    match init {
+        InitKind::VertexId => v,
+        InitKind::MinNeighbor => g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .min()
+            .map_or(v, |m| m.min(v)),
+        InitKind::FirstSmaller => g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .find(|&u| u < v)
+            .unwrap_or(v),
+    }
+}
+
+fn compute_phase(g: &CsrGraph, parent: &mut [Vertex], jump: JumpKind) {
+    for v in g.vertices() {
+        let mut v_rep = find(parent, v, jump);
+        for &u in g.neighbors(v) {
+            // Process each undirected edge once, in one direction only.
+            if v > u {
+                let u_rep = find(parent, u, jump);
+                if v_rep != u_rep {
+                    // Hook: larger representative under the smaller. No CAS
+                    // needed serially — the store cannot race.
+                    if v_rep < u_rep {
+                        parent[u_rep as usize] = v_rep;
+                    } else {
+                        parent[v_rep as usize] = u_rep;
+                        v_rep = u_rep;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serial find with the selected pointer-jumping flavour.
+#[inline]
+pub(crate) fn find(parent: &mut [Vertex], v: Vertex, jump: JumpKind) -> Vertex {
+    match jump {
+        JumpKind::Intermediate => {
+            // Fig. 5, sequential: halve the path while walking it.
+            let mut par = parent[v as usize];
+            if par != v {
+                let mut prev = v;
+                loop {
+                    let next = parent[par as usize];
+                    if par <= next {
+                        break;
+                    }
+                    parent[prev as usize] = next;
+                    prev = par;
+                    par = next;
+                }
+            }
+            par
+        }
+        JumpKind::None => walk(parent, v),
+        JumpKind::Single => {
+            let root = walk(parent, v);
+            parent[v as usize] = root;
+            root
+        }
+        JumpKind::Multiple => {
+            let root = walk(parent, v);
+            let mut cur = v;
+            while cur != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+    }
+}
+
+#[inline]
+fn walk(parent: &[Vertex], v: Vertex) -> Vertex {
+    let mut cur = v;
+    loop {
+        let p = parent[cur as usize];
+        if p >= cur {
+            return cur;
+        }
+        cur = p;
+    }
+}
+
+fn finalize_phase(parent: &mut [Vertex], fini: FiniKind) {
+    let n = parent.len();
+    for v in 0..n as Vertex {
+        match fini {
+            FiniKind::Single => {
+                let root = walk(parent, v);
+                parent[v as usize] = root;
+            }
+            FiniKind::Intermediate => {
+                let root = find(parent, v, JumpKind::Intermediate);
+                parent[v as usize] = root;
+            }
+            FiniKind::Multiple => {
+                let _ = find(parent, v, JumpKind::Multiple);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EclConfig;
+    use ecl_graph::{generate, stats};
+    use ecl_unionfind::concurrent::JumpKind;
+
+    fn check(g: &CsrGraph, cfg: &EclConfig) {
+        let r = run(g, cfg);
+        r.verify(g).unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+        // Labels must already be representatives: flat parent array.
+        for (v, &l) in r.labels.iter().enumerate() {
+            assert_eq!(r.labels[l as usize], l, "vertex {v} label not a root");
+        }
+    }
+
+    #[test]
+    fn default_on_varied_shapes() {
+        let cfg = EclConfig::default();
+        check(&generate::path(100), &cfg);
+        check(&generate::cycle(100), &cfg);
+        check(&generate::star(100), &cfg);
+        check(&generate::disjoint_cliques(5, 10), &cfg);
+        check(&generate::binary_tree(127), &cfg);
+        check(&generate::grid2d(17, 23), &cfg);
+        check(&generate::gnm_random(500, 700, 1), &cfg);
+        check(&generate::rmat(10, 8, generate::RmatParams::GALOIS, 2), &cfg);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let cfg = EclConfig::default();
+        let r = run(&ecl_graph::GraphBuilder::new(0).build(), &cfg);
+        assert_eq!(r.labels.len(), 0);
+        let r = run(&ecl_graph::GraphBuilder::new(1).build(), &cfg);
+        assert_eq!(r.labels, vec![0]);
+    }
+
+    #[test]
+    fn all_init_variants_agree() {
+        let g = generate::gnm_random(400, 900, 7);
+        for init in [InitKind::VertexId, InitKind::MinNeighbor, InitKind::FirstSmaller] {
+            check(&g, &EclConfig::with_init(init));
+        }
+    }
+
+    #[test]
+    fn all_jump_variants_agree() {
+        let g = generate::rmat(9, 6, generate::RmatParams::GALOIS, 3);
+        for jump in [JumpKind::Multiple, JumpKind::Single, JumpKind::None, JumpKind::Intermediate] {
+            check(&g, &EclConfig::with_jump(jump));
+        }
+    }
+
+    #[test]
+    fn all_fini_variants_agree() {
+        let g = generate::road_network(30, 30, 0.3, 1.0, 4);
+        for fini in [FiniKind::Intermediate, FiniKind::Multiple, FiniKind::Single] {
+            check(&g, &EclConfig::with_fini(fini));
+        }
+    }
+
+    #[test]
+    fn labels_are_component_minimums() {
+        let g = generate::disjoint_cliques(4, 5);
+        let r = run(&g, &EclConfig::default());
+        assert_eq!(r.labels, stats::reference_labels(&g));
+    }
+
+    #[test]
+    fn component_count_matches_reference() {
+        let g = generate::kronecker(10, 8, 5);
+        let r = run(&g, &EclConfig::default());
+        assert_eq!(r.num_components(), stats::count_components(&g));
+    }
+
+    #[test]
+    fn compressed_run_matches_csr_run() {
+        for g in [
+            generate::gnm_random(400, 1100, 17),
+            generate::road_network(20, 20, 0.3, 1.0, 18),
+            generate::kronecker(9, 6, 19),
+            ecl_graph::GraphBuilder::new(12).build(),
+        ] {
+            let c = ecl_graph::CompressedGraph::from_csr(&g);
+            let cfg = EclConfig::default();
+            assert_eq!(run_compressed(&c, &cfg).labels, run(&g, &cfg).labels);
+        }
+    }
+
+    #[test]
+    fn compressed_run_all_variants_verify() {
+        let g = generate::rmat(9, 6, generate::RmatParams::GALOIS, 21);
+        let c = ecl_graph::CompressedGraph::from_csr(&g);
+        for init in [InitKind::VertexId, InitKind::MinNeighbor, InitKind::FirstSmaller] {
+            let r = run_compressed(&c, &EclConfig::with_init(init));
+            r.verify(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn init3_picks_first_smaller_not_minimum() {
+        // Vertex 3's adjacency is sorted: [1, 2]; first smaller is 1.
+        let g = ecl_graph::builder::from_edges(4, &[(3, 2), (3, 1)]);
+        assert_eq!(init_label(&g, 3, InitKind::FirstSmaller), 1);
+        assert_eq!(init_label(&g, 3, InitKind::MinNeighbor), 1);
+        assert_eq!(init_label(&g, 3, InitKind::VertexId), 3);
+        assert_eq!(init_label(&g, 1, InitKind::FirstSmaller), 1, "no smaller neighbor");
+    }
+}

@@ -1,0 +1,262 @@
+//! Sectored set-associative LRU cache model.
+//!
+//! Models the GPU cache hierarchy at transaction granularity: lines of
+//! `line_bytes` are divided into 32-byte sectors, tags are tracked per
+//! line, validity per sector (as on Maxwell/Kepler), replacement is LRU
+//! within a set, and writes allocate (write-back). The model tracks the
+//! access counters the paper profiles in Table 3: read/write accesses at
+//! each level and dirty write-backs.
+
+/// Outcome of a cache lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// Sector present.
+    Hit,
+    /// Line present but sector invalid, or line absent; `evicted_dirty`
+    /// sectors must be written back to the next level.
+    Miss {
+        /// Number of dirty sectors evicted by the fill this miss triggered.
+        evicted_dirty: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Line {
+    tag: u64,
+    valid_sectors: u32,
+    dirty_sectors: u32,
+    last_use: u64,
+}
+
+/// Access statistics for one cache instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read transactions presented to this cache.
+    pub read_accesses: u64,
+    /// Write transactions presented to this cache.
+    pub write_accesses: u64,
+    /// Read transactions that hit.
+    pub read_hits: u64,
+    /// Write transactions that hit.
+    pub write_hits: u64,
+    /// Dirty sectors written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Read misses (`read_accesses - read_hits`).
+    pub fn read_misses(&self) -> u64 {
+        self.read_accesses - self.read_hits
+    }
+
+    /// Write misses.
+    pub fn write_misses(&self) -> u64 {
+        self.write_accesses - self.write_hits
+    }
+}
+
+/// A sectored, set-associative, write-back/write-allocate LRU cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    line_bytes: u64,
+    sector_bytes: u64,
+    sectors_per_line: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with the given geometry.
+    /// `capacity_bytes / (line_bytes * ways)` must be a power-of-two-free
+    /// positive set count (any positive integer works).
+    pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize, sector_bytes: usize) -> Self {
+        assert!(ways >= 1 && line_bytes >= sector_bytes && sector_bytes >= 4);
+        assert_eq!(line_bytes % sector_bytes, 0);
+        let num_lines = (capacity_bytes / line_bytes).max(ways);
+        let num_sets = (num_lines / ways).max(1);
+        Cache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            line_bytes: line_bytes as u64,
+            sector_bytes: sector_bytes as u64,
+            sectors_per_line: (line_bytes / sector_bytes) as u32,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Presents one sector transaction at byte address `addr` to the cache.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> Lookup {
+        self.tick += 1;
+        let line_addr = addr / self.line_bytes;
+        let sector_in_line = ((addr % self.line_bytes) / self.sector_bytes) as u32;
+        let sector_bit = 1u32 << sector_in_line;
+        let set_idx = (line_addr % self.sets.len() as u64) as usize;
+        let tick = self.tick;
+
+        if is_write {
+            self.stats.write_accesses += 1;
+        } else {
+            self.stats.read_accesses += 1;
+        }
+
+        let ways = self.ways;
+        let sectors_per_line = self.sectors_per_line;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == line_addr) {
+            line.last_use = tick;
+            if line.valid_sectors & sector_bit != 0 {
+                if is_write {
+                    line.dirty_sectors |= sector_bit;
+                    self.stats.write_hits += 1;
+                } else {
+                    self.stats.read_hits += 1;
+                }
+                return Lookup::Hit;
+            }
+            // Line present, sector not yet filled: sector miss, no eviction.
+            line.valid_sectors |= sector_bit;
+            if is_write {
+                line.dirty_sectors |= sector_bit;
+            }
+            return Lookup::Miss { evicted_dirty: 0 };
+        }
+
+        // Line absent: allocate, possibly evicting the LRU way.
+        let mut evicted_dirty = 0;
+        if set.len() >= ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            let victim = set.swap_remove(lru);
+            evicted_dirty = victim.dirty_sectors.count_ones().min(sectors_per_line);
+            self.stats.writebacks += evicted_dirty as u64;
+        }
+        set.push(Line {
+            tag: line_addr,
+            valid_sectors: sector_bit,
+            dirty_sectors: if is_write { sector_bit } else { 0 },
+            last_use: tick,
+        });
+        Lookup::Miss { evicted_dirty }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the counters (cache contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates all contents and zeroes counters.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+
+    /// Sector size in bytes.
+    pub fn sector_bytes(&self) -> u64 {
+        self.sector_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets * 2 ways * 128B lines = 512 B.
+        Cache::new(512, 2, 128, 32)
+    }
+
+    #[test]
+    fn repeat_access_hits() {
+        let mut c = tiny();
+        assert!(matches!(c.access(0, false), Lookup::Miss { .. }));
+        assert_eq!(c.access(0, false), Lookup::Hit);
+        assert_eq!(c.access(4, false), Lookup::Hit, "same sector");
+        let s = c.stats();
+        assert_eq!(s.read_accesses, 3);
+        assert_eq!(s.read_hits, 2);
+    }
+
+    #[test]
+    fn sector_miss_within_present_line() {
+        let mut c = tiny();
+        c.access(0, false);
+        // Different sector of the same line: miss but no eviction.
+        assert_eq!(c.access(32, false), Lookup::Miss { evicted_dirty: 0 });
+        assert_eq!(c.access(32, false), Lookup::Hit);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny();
+        // Set count = 512/128/2 = 2 sets. Lines mapping to set 0:
+        // line addresses 0, 2, 4 (addr 0, 256, 512).
+        c.access(0, false);
+        c.access(256, false);
+        c.access(512, false); // evicts line 0 (LRU)
+        assert!(matches!(c.access(0, false), Lookup::Miss { .. }));
+        // 256 should still be resident (was MRU before 512's fill)...
+        // after accessing 0 again, LRU order is [512, 0]; 256 was evicted
+        // by 0's refill. Just verify the counter bookkeeping is coherent.
+        let s = c.stats();
+        assert_eq!(s.read_hits + s.read_misses(), s.read_accesses);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.access(0, true); // dirty sector in line 0
+        c.access(256, false);
+        let l = c.access(512, false); // evicts one of them
+        // Either line 0 (dirty) or 256 (clean) got evicted; run one more
+        // fill so both victims have cycled and the writeback must appear.
+        c.access(768, false);
+        let _ = l;
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty_once() {
+        let mut c = tiny();
+        c.access(0, true);
+        assert_eq!(c.access(0, true), Lookup::Hit);
+        assert_eq!(c.stats().write_hits, 1);
+        assert_eq!(c.stats().write_accesses, 2);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.flush();
+        assert!(matches!(c.access(0, false), Lookup::Miss { .. }));
+        assert_eq!(c.stats().read_accesses, 1);
+    }
+
+    #[test]
+    fn conservation_invariant() {
+        let mut c = Cache::new(4096, 4, 128, 32);
+        for i in 0..10_000u64 {
+            let addr = (i * 97) % 16_384;
+            c.access(addr, i % 3 == 0);
+        }
+        let s = c.stats();
+        assert_eq!(s.read_accesses + s.write_accesses, 10_000);
+        assert!(s.read_hits <= s.read_accesses);
+        assert!(s.write_hits <= s.write_accesses);
+    }
+}

@@ -1,0 +1,448 @@
+//! The simulated device: memory + caches + SM cycle accounting + the
+//! kernel-launch API.
+
+use crate::cache::{Cache, CacheStats};
+use crate::mem::{DevicePtr, GlobalMemory};
+use crate::profile::DeviceProfile;
+use crate::warp::{BlockCtx, WarpCtx};
+use crate::LANES;
+
+/// Counters gathered for one kernel launch.
+#[derive(Clone, Debug, Default)]
+pub struct KernelStats {
+    /// Kernel name as passed to the launch call.
+    pub name: String,
+    /// Simulated execution time: max over SMs of the cycles this launch
+    /// added, plus the fixed launch overhead.
+    pub cycles: u64,
+    /// Warp instructions issued (ALU + one per memory operation).
+    pub instructions: u64,
+    /// Memory transactions that hit in L1.
+    pub l1_hit_transactions: u64,
+    /// Read accesses presented to the L2 (L1 read misses, write-allocate
+    /// fills, and atomic reads).
+    pub l2_read_accesses: u64,
+    /// Write accesses presented to the L2 (L1 dirty write-backs and atomic
+    /// writes).
+    pub l2_write_accesses: u64,
+    /// Transactions served by DRAM (L2 misses).
+    pub dram_transactions: u64,
+    /// Atomic operations executed.
+    pub atomics: u64,
+    /// Number of warps executed.
+    pub warps: u64,
+}
+
+impl KernelStats {
+    /// Simulated time in pseudo-milliseconds on `profile`.
+    pub fn ms(&self, profile: &DeviceProfile) -> f64 {
+        profile.cycles_to_ms(self.cycles)
+    }
+}
+
+/// The simulated GPU. See the crate docs for the model.
+pub struct Gpu {
+    pub(crate) profile: DeviceProfile,
+    pub(crate) mem: GlobalMemory,
+    pub(crate) l1: Vec<Cache>,
+    pub(crate) l2: Cache,
+    pub(crate) sm_cycles: Vec<u64>,
+    pub(crate) cur: LaunchCounters,
+    kernels: Vec<KernelStats>,
+}
+
+/// Counters accumulated while a launch is in flight.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LaunchCounters {
+    pub instructions: u64,
+    pub l1_hits: u64,
+    pub dram: u64,
+    pub atomics: u64,
+    pub warps: u64,
+}
+
+impl Gpu {
+    /// A device with the given profile and empty memory.
+    pub fn new(profile: DeviceProfile) -> Self {
+        let l1 = (0..profile.num_sms)
+            .map(|_| {
+                Cache::new(
+                    profile.l1_bytes,
+                    profile.l1_ways,
+                    profile.line_bytes,
+                    profile.sector_bytes,
+                )
+            })
+            .collect();
+        let l2 = Cache::new(
+            profile.l2_bytes,
+            profile.l2_ways,
+            profile.line_bytes,
+            profile.sector_bytes,
+        );
+        let sm_cycles = vec![0; profile.num_sms];
+        Gpu {
+            profile,
+            mem: GlobalMemory::new(),
+            l1,
+            l2,
+            sm_cycles,
+            cur: LaunchCounters::default(),
+            kernels: Vec::new(),
+        }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Allocates a zeroed buffer of `len` words.
+    pub fn alloc(&mut self, len: usize) -> DevicePtr {
+        self.mem.alloc(len)
+    }
+
+    /// Allocates and uploads `data` (untimed, like a pre-kernel memcpy —
+    /// the paper excludes transfer time from all measurements, §4).
+    pub fn alloc_from(&mut self, data: &[u32]) -> DevicePtr {
+        self.mem.alloc_from(data)
+    }
+
+    /// Untimed host read-back of a buffer.
+    pub fn download(&self, ptr: DevicePtr) -> Vec<u32> {
+        self.mem.download(ptr)
+    }
+
+    /// Untimed host write of a buffer.
+    pub fn upload(&mut self, ptr: DevicePtr, data: &[u32]) {
+        self.mem.upload(ptr, data)
+    }
+
+    /// A launch size that fills the device for a grid-stride loop over `n`
+    /// items: enough blocks for 4 resident blocks per SM, capped at `n`
+    /// rounded up to a block.
+    pub fn suggested_threads(&self, n: usize) -> usize {
+        let tpb = self.profile.threads_per_block;
+        let max_threads = self.profile.num_sms * 4 * tpb;
+        let needed = n.div_ceil(tpb) * tpb;
+        needed.min(max_threads).max(tpb)
+    }
+
+    /// Launches a thread-granularity kernel: `total_threads` threads, 32
+    /// per warp, blocks assigned round-robin to SMs. The closure runs once
+    /// per warp with the warp's context (lane `i`'s global thread ID is
+    /// `ctx.thread_ids().get(i)`); lanes beyond `total_threads` are
+    /// inactive in [`WarpCtx::launch_mask`].
+    pub fn launch_warps<F>(&mut self, name: &str, total_threads: usize, mut body: F) -> KernelStats
+    where
+        F: FnMut(&mut WarpCtx),
+    {
+        let start_sm = self.sm_cycles.clone();
+        let (l1_before, l2_before) = self.cache_snapshot();
+        self.cur = LaunchCounters::default();
+
+        let tpb = self.profile.threads_per_block;
+        let warps_per_block = self.profile.warps_per_block();
+        let num_warps = total_threads.div_ceil(LANES);
+        for wid in 0..num_warps {
+            let block = wid / warps_per_block;
+            let sm = block % self.profile.num_sms;
+            let base = (wid * LANES) as u32;
+            let active = crate::Mask::first(total_threads.saturating_sub(wid * LANES).min(LANES));
+            let mut ctx = WarpCtx::new(self, sm, base, total_threads as u32, active);
+            body(&mut ctx);
+            self.cur.warps += 1;
+        }
+        let _ = tpb;
+        self.finish_launch(name, start_sm, l1_before, l2_before)
+    }
+
+    /// Launches a block-granularity kernel: the closure runs once per
+    /// thread block and drives its warps through [`BlockCtx::for_each_warp`].
+    pub fn launch_blocks<F>(&mut self, name: &str, num_blocks: usize, mut body: F) -> KernelStats
+    where
+        F: FnMut(&mut BlockCtx),
+    {
+        let start_sm = self.sm_cycles.clone();
+        let (l1_before, l2_before) = self.cache_snapshot();
+        self.cur = LaunchCounters::default();
+
+        for b in 0..num_blocks {
+            let sm = b % self.profile.num_sms;
+            let mut ctx = BlockCtx::new(self, sm, b, num_blocks);
+            body(&mut ctx);
+        }
+        self.finish_launch(name, start_sm, l1_before, l2_before)
+    }
+
+    fn cache_snapshot(&self) -> (CacheStats, CacheStats) {
+        let mut l1 = CacheStats::default();
+        for c in &self.l1 {
+            let s = c.stats();
+            l1.read_accesses += s.read_accesses;
+            l1.write_accesses += s.write_accesses;
+            l1.read_hits += s.read_hits;
+            l1.write_hits += s.write_hits;
+            l1.writebacks += s.writebacks;
+        }
+        (l1, self.l2.stats())
+    }
+
+    fn finish_launch(
+        &mut self,
+        name: &str,
+        start_sm: Vec<u64>,
+        _l1_before: CacheStats,
+        l2_before: CacheStats,
+    ) -> KernelStats {
+        let max_delta = self
+            .sm_cycles
+            .iter()
+            .zip(&start_sm)
+            .map(|(now, then)| now - then)
+            .max()
+            .unwrap_or(0);
+        let l2_now = self.l2.stats();
+        let stats = KernelStats {
+            name: name.to_string(),
+            cycles: max_delta + self.profile.launch_overhead_cycles,
+            instructions: self.cur.instructions,
+            l1_hit_transactions: self.cur.l1_hits,
+            l2_read_accesses: l2_now.read_accesses - l2_before.read_accesses,
+            l2_write_accesses: l2_now.write_accesses - l2_before.write_accesses,
+            dram_transactions: self.cur.dram,
+            atomics: self.cur.atomics,
+            warps: self.cur.warps,
+        };
+        self.kernels.push(stats.clone());
+        stats
+    }
+
+    /// Stats of every kernel launched so far, in launch order.
+    pub fn kernel_stats(&self) -> &[KernelStats] {
+        &self.kernels
+    }
+
+    /// Sum of all kernel cycles (launches are sequential, as in the CUDA
+    /// code where each kernel waits for the previous one).
+    pub fn total_cycles(&self) -> u64 {
+        self.kernels.iter().map(|k| k.cycles).sum()
+    }
+
+    /// Total simulated time in pseudo-ms.
+    pub fn total_ms(&self) -> f64 {
+        self.profile.cycles_to_ms(self.total_cycles())
+    }
+
+    /// Per-SM busy-cycle counters since construction (or the last
+    /// [`Self::reset_profiling`]). The spread across SMs is the
+    /// load-imbalance signal ECL-CC's degree-bucketed kernels exist to
+    /// minimize.
+    pub fn sm_cycles(&self) -> &[u64] {
+        &self.sm_cycles
+    }
+
+    /// SM load balance: mean busy cycles divided by the maximum
+    /// (1.0 = perfectly balanced; small values = one SM dominated).
+    /// Returns 1.0 when nothing has executed.
+    pub fn sm_balance(&self) -> f64 {
+        let max = self.sm_cycles.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        let mean = self.sm_cycles.iter().sum::<u64>() as f64 / self.sm_cycles.len() as f64;
+        mean / max as f64
+    }
+
+    /// Clears kernel history and cache contents/counters; memory contents
+    /// are preserved (like re-running a program on a device with data
+    /// already resident).
+    pub fn reset_profiling(&mut self) {
+        self.kernels.clear();
+        for c in &mut self.l1 {
+            c.flush();
+        }
+        self.l2.flush();
+        for c in &mut self.sm_cycles {
+            *c = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lanes;
+
+    #[test]
+    fn simple_copy_kernel() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let src: Vec<u32> = (0..1000).collect();
+        let a = gpu.alloc_from(&src);
+        let b = gpu.alloc(1000);
+        let total = 1000;
+        gpu.launch_warps("copy", total, |w| {
+            let tid = w.thread_ids();
+            let m = w.launch_mask();
+            let v = w.load(a, &tid, m);
+            w.store(b, &tid, &v, m);
+        });
+        assert_eq!(gpu.download(b), src);
+        let k = &gpu.kernel_stats()[0];
+        assert!(k.cycles > 0);
+        assert_eq!(k.warps as usize, total.div_ceil(32));
+    }
+
+    #[test]
+    fn grid_stride_kernel_covers_all() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let n = 5000u32;
+        let buf = gpu.alloc(n as usize);
+        let total = gpu.suggested_threads(n as usize);
+        gpu.launch_warps("fill", total, |w| {
+            let mut idx = w.thread_ids();
+            loop {
+                let m = w.launch_mask() & idx.lt_scalar(n);
+                if m.none() {
+                    break;
+                }
+                w.store(buf, &idx, &idx, m);
+                idx = idx.add_scalar(total as u32);
+                w.alu(1);
+            }
+        });
+        let out = gpu.download(buf);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn coalesced_cheaper_than_scattered() {
+        let mut gpu = Gpu::new(DeviceProfile::titan_x());
+        let n = 32 * 1024;
+        let buf = gpu.alloc(n);
+        // Coalesced: lane i reads consecutive words.
+        let k1 = gpu.launch_warps("coalesced", 1024, |w| {
+            let mut idx = w.thread_ids();
+            for _ in 0..(n / 1024) {
+                let m = w.launch_mask();
+                let _ = w.load(buf, &idx, m);
+                idx = idx.add_scalar(1024);
+            }
+        });
+        gpu.reset_profiling();
+        // Scattered: lane addresses hashed apart so every lane touches its
+        // own sector and sectors are rarely revisited (same total
+        // lane-loads as the coalesced kernel).
+        let k2 = gpu.launch_warps("scattered", 1024, |w| {
+            let tid = w.thread_ids();
+            let mut iter = 0u32;
+            for _ in 0..(n / 1024) {
+                let idx = tid.map(|t| {
+                    t.wrapping_mul(2654435761)
+                        .wrapping_add(iter.wrapping_mul(40503)) % n as u32
+                });
+                let m = w.launch_mask();
+                let _ = w.load(buf, &idx, m);
+                iter = iter.wrapping_add(1);
+            }
+        });
+        assert!(
+            k2.cycles > 2 * k1.cycles,
+            "scattered {} vs coalesced {}",
+            k2.cycles,
+            k1.cycles
+        );
+    }
+
+    #[test]
+    fn atomic_add_counts() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let ctr = gpu.alloc(1);
+        let k = gpu.launch_warps("count", 320, |w| {
+            let m = w.launch_mask();
+            let _ = w.atomic_add(ctr, &Lanes::splat(0), &Lanes::splat(1), m);
+        });
+        assert_eq!(gpu.download(ctr)[0], 320);
+        assert_eq!(k.atomics, 320);
+        assert!(k.l2_read_accesses >= 320);
+        assert!(k.l2_write_accesses >= 320);
+    }
+
+    #[test]
+    fn atomic_cas_semantics() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let cell = gpu.alloc_from(&[5]);
+        gpu.launch_warps("cas", 32, |w| {
+            let m = w.launch_mask();
+            let old = w.atomic_cas(cell, &Lanes::splat(0), &Lanes::splat(5), &Lanes::splat(9), m);
+            // Exactly one lane observes 5; the rest observe 9.
+            let winners = old.eq_mask(&Lanes::splat(5)) & m;
+            assert_eq!(winners.count(), 1);
+        });
+        assert_eq!(gpu.download(cell)[0], 9);
+    }
+
+    #[test]
+    fn kernel_time_is_max_over_sms() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        // One block does 1000 ALU cycles, others do nothing → kernel time
+        // tracks the busiest SM, not the sum.
+        let k = gpu.launch_blocks("imbalanced", 4, |b| {
+            if b.block_idx() == 0 {
+                b.for_each_warp(|w| w.alu(1000));
+            }
+        });
+        assert!(k.cycles >= 1000 + 100);
+        assert!(k.cycles < 3000, "cycles {} look summed, not maxed", k.cycles);
+    }
+
+    #[test]
+    fn sm_balance_reflects_imbalance() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        // Balanced: every block does the same work.
+        gpu.launch_blocks("even", 4, |b| b.for_each_warp(|w| w.alu(100)));
+        assert!(gpu.sm_balance() > 0.99, "balance {}", gpu.sm_balance());
+        gpu.reset_profiling();
+        // Imbalanced: only block 0 works.
+        gpu.launch_blocks("skew", 4, |b| {
+            if b.block_idx() == 0 {
+                b.for_each_warp(|w| w.alu(1000));
+            }
+        });
+        assert!(gpu.sm_balance() < 0.6, "balance {}", gpu.sm_balance());
+        assert_eq!(gpu.sm_cycles().len(), 2);
+    }
+
+    #[test]
+    fn launch_history_accumulates() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let b = gpu.alloc(64);
+        gpu.launch_warps("a", 64, |w| {
+            let m = w.launch_mask();
+            let t = w.thread_ids();
+            w.store(b, &t, &t, m);
+        });
+        gpu.launch_warps("b", 64, |w| w.alu(1));
+        assert_eq!(gpu.kernel_stats().len(), 2);
+        assert_eq!(gpu.kernel_stats()[0].name, "a");
+        assert!(gpu.total_cycles() >= gpu.kernel_stats()[1].cycles);
+    }
+
+    #[test]
+    fn repeated_reads_hit_l1() {
+        let mut gpu = Gpu::new(DeviceProfile::titan_x());
+        let buf = gpu.alloc(32);
+        let k = gpu.launch_warps("rehit", 32, |w| {
+            let tid = w.thread_ids();
+            let m = w.launch_mask();
+            for _ in 0..10 {
+                let _ = w.load(buf, &tid, m);
+            }
+        });
+        assert!(k.l1_hit_transactions >= 9 * 4, "l1 hits {}", k.l1_hit_transactions);
+        // Only the first pass misses: 4 sectors.
+        assert!(k.l2_read_accesses <= 8, "l2 reads {}", k.l2_read_accesses);
+    }
+}

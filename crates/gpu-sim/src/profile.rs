@@ -1,0 +1,156 @@
+//! Device profiles mirroring the two GPUs of the paper's §4.
+
+/// Static hardware parameters of a simulated device.
+///
+/// The cache capacities and SM counts are the paper's published numbers;
+/// the latency/throughput constants are representative occupancy costs for
+/// the respective architecture generation (only their *ratios* matter for
+/// the normalized results the paper reports).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Threads per thread block used by ECL-CC (the paper uses 256).
+    pub threads_per_block: usize,
+    /// L1 data cache capacity per SM, in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity (ways).
+    pub l1_ways: usize,
+    /// Shared L2 cache capacity, in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity (ways).
+    pub l2_ways: usize,
+    /// Cache line size in bytes (both levels).
+    pub line_bytes: usize,
+    /// Sector (minimum transaction) size in bytes.
+    pub sector_bytes: usize,
+    /// Issue cost of one warp ALU instruction, in cycles.
+    pub alu_cycles: u64,
+    /// Occupancy cost of a transaction that hits in L1.
+    pub l1_hit_cycles: u64,
+    /// Occupancy cost of a transaction that hits in L2.
+    pub l2_hit_cycles: u64,
+    /// Occupancy cost of a transaction served by DRAM.
+    pub dram_cycles: u64,
+    /// Serialized cost of one atomic operation (resolved at L2).
+    pub atomic_cycles: u64,
+    /// Fixed kernel-launch overhead in cycles.
+    pub launch_overhead_cycles: u64,
+    /// Core clock in MHz, used only to convert cycles to pseudo-ms.
+    pub clock_mhz: u64,
+}
+
+impl DeviceProfile {
+    /// GeForce GTX Titan X (Maxwell): 24 SMs, 48 kB L1 per SM, 2 MB L2,
+    /// 1.1 GHz (§4).
+    pub fn titan_x() -> Self {
+        DeviceProfile {
+            name: "Titan X",
+            num_sms: 24,
+            threads_per_block: 256,
+            l1_bytes: 48 * 1024,
+            l1_ways: 8,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_ways: 16,
+            line_bytes: 128,
+            sector_bytes: 32,
+            alu_cycles: 1,
+            l1_hit_cycles: 4,
+            l2_hit_cycles: 22,
+            dram_cycles: 68,
+            atomic_cycles: 30,
+            launch_overhead_cycles: 4000,
+            clock_mhz: 1100,
+        }
+    }
+
+    /// Tesla K40c (Kepler): 15 SMs, 48 kB L1 per SM, 1.5 MB L2, 745 MHz
+    /// (§4). Kepler has slower atomics and higher memory costs relative to
+    /// clock, which is why the paper's K40 numbers are uniformly worse.
+    pub fn k40() -> Self {
+        DeviceProfile {
+            name: "K40",
+            num_sms: 15,
+            threads_per_block: 256,
+            l1_bytes: 48 * 1024,
+            l1_ways: 8,
+            l2_bytes: 1536 * 1024,
+            l2_ways: 16,
+            line_bytes: 128,
+            sector_bytes: 32,
+            alu_cycles: 1,
+            l1_hit_cycles: 5,
+            l2_hit_cycles: 30,
+            dram_cycles: 80,
+            atomic_cycles: 60,
+            launch_overhead_cycles: 4000,
+            clock_mhz: 745,
+        }
+    }
+
+    /// A tiny device for unit tests: 2 SMs and caches small enough that
+    /// capacity misses are easy to provoke.
+    pub fn test_tiny() -> Self {
+        DeviceProfile {
+            name: "TestTiny",
+            num_sms: 2,
+            threads_per_block: 64,
+            l1_bytes: 1024,
+            l1_ways: 2,
+            l2_bytes: 8 * 1024,
+            l2_ways: 4,
+            line_bytes: 128,
+            sector_bytes: 32,
+            alu_cycles: 1,
+            l1_hit_cycles: 4,
+            l2_hit_cycles: 22,
+            dram_cycles: 68,
+            atomic_cycles: 30,
+            launch_overhead_cycles: 100,
+            clock_mhz: 1000,
+        }
+    }
+
+    /// Warps per thread block (`threads_per_block / 32`).
+    pub fn warps_per_block(&self) -> usize {
+        self.threads_per_block / crate::LANES
+    }
+
+    /// Converts simulated cycles to pseudo-milliseconds at the device
+    /// clock. Only used for absolute-runtime tables; all figures are
+    /// ratios.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz as f64 * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_matches_paper_specs() {
+        let p = DeviceProfile::titan_x();
+        assert_eq!(p.num_sms, 24);
+        assert_eq!(p.l1_bytes, 48 * 1024);
+        assert_eq!(p.l2_bytes, 2 * 1024 * 1024);
+        assert_eq!(p.warps_per_block(), 8);
+    }
+
+    #[test]
+    fn k40_matches_paper_specs() {
+        let p = DeviceProfile::k40();
+        assert_eq!(p.num_sms, 15);
+        assert_eq!(p.l2_bytes, 1536 * 1024);
+        assert!(p.atomic_cycles > DeviceProfile::titan_x().atomic_cycles);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let p = DeviceProfile::titan_x();
+        let ms = p.cycles_to_ms(1_100_000);
+        assert!((ms - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,453 @@
+//! Warp- and block-level execution contexts.
+//!
+//! A [`WarpCtx`] is the view a kernel has of one warp: 32 lanes executing
+//! in lockstep. Every memory operation takes the active-lane mask, runs the
+//! coalescer, charges cycles to the warp's SM, and updates the cache
+//! models. A [`BlockCtx`] groups the warps of one thread block for
+//! block-granularity kernels (the paper's third compute kernel).
+
+use crate::cache::Lookup;
+use crate::device::Gpu;
+use crate::lanes::{Lanes, Mask};
+use crate::mem::DevicePtr;
+use crate::LANES;
+
+/// Execution context of one warp.
+pub struct WarpCtx<'a> {
+    gpu: &'a mut Gpu,
+    sm: usize,
+    base_gid: u32,
+    total_threads: u32,
+    launch_mask: Mask,
+}
+
+impl<'a> WarpCtx<'a> {
+    pub(crate) fn new(
+        gpu: &'a mut Gpu,
+        sm: usize,
+        base_gid: u32,
+        total_threads: u32,
+        launch_mask: Mask,
+    ) -> Self {
+        WarpCtx {
+            gpu,
+            sm,
+            base_gid,
+            total_threads,
+            launch_mask,
+        }
+    }
+
+    /// Global thread ID per lane (`base + lane`).
+    #[inline]
+    pub fn thread_ids(&self) -> Lanes {
+        Lanes::iota(self.base_gid, 1)
+    }
+
+    /// Lanes that correspond to launched threads (the tail warp of a
+    /// launch may be partial).
+    #[inline]
+    pub fn launch_mask(&self) -> Mask {
+        self.launch_mask
+    }
+
+    /// Total threads in the launch (the grid-stride step).
+    #[inline]
+    pub fn total_threads(&self) -> u32 {
+        self.total_threads
+    }
+
+    /// SM this warp is resident on.
+    #[inline]
+    pub fn sm(&self) -> usize {
+        self.sm
+    }
+
+    /// Charges `n` warp ALU instructions.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.gpu.sm_cycles[self.sm] += n * self.gpu.profile.alu_cycles;
+        self.gpu.cur.instructions += n;
+    }
+
+    /// Gathers `ptr[idx[lane]]` for every active lane. Inactive lanes
+    /// return 0. Addresses are coalesced into sector transactions.
+    pub fn load(&mut self, ptr: DevicePtr, idx: &Lanes, mask: Mask) -> Lanes {
+        let mut out = Lanes::default();
+        if mask.none() {
+            return out;
+        }
+        self.issue_transactions(ptr, idx, mask, false);
+        for lane in mask.iter() {
+            out.set(lane, self.gpu.mem.read(ptr, idx.get(lane) as usize));
+        }
+        self.gpu.cur.instructions += 1;
+        out
+    }
+
+    /// Scatters `vals[lane]` to `ptr[idx[lane]]` for every active lane.
+    /// When several lanes target the same element, the highest lane wins
+    /// (CUDA leaves the winner unspecified; fixing it keeps the simulator
+    /// deterministic).
+    pub fn store(&mut self, ptr: DevicePtr, idx: &Lanes, vals: &Lanes, mask: Mask) {
+        if mask.none() {
+            return;
+        }
+        self.issue_transactions(ptr, idx, mask, true);
+        for lane in mask.iter() {
+            self.gpu.mem.write(ptr, idx.get(lane) as usize, vals.get(lane));
+        }
+        self.gpu.cur.instructions += 1;
+    }
+
+    /// Warp-uniform load of a single element (one transaction, value
+    /// broadcast to the caller).
+    pub fn load_uniform(&mut self, ptr: DevicePtr, idx: u32) -> u32 {
+        let lanes = Lanes::splat(idx);
+        self.issue_transactions(ptr, &lanes, Mask(1), false);
+        self.gpu.cur.instructions += 1;
+        self.gpu.mem.read(ptr, idx as usize)
+    }
+
+    /// Per-lane `atomicCAS(&ptr[idx], cmp, new)`, serialized in lane order
+    /// (resolved at the L2, as on hardware). Returns the old value each
+    /// lane observed.
+    pub fn atomic_cas(
+        &mut self,
+        ptr: DevicePtr,
+        idx: &Lanes,
+        cmp: &Lanes,
+        new: &Lanes,
+        mask: Mask,
+    ) -> Lanes {
+        let mut out = Lanes::default();
+        for lane in mask.iter() {
+            let i = idx.get(lane) as usize;
+            let old = self.gpu.mem.read(ptr, i);
+            out.set(lane, old);
+            if old == cmp.get(lane) {
+                self.gpu.mem.write(ptr, i, new.get(lane));
+            }
+            self.charge_atomic(ptr, idx.get(lane));
+        }
+        self.gpu.cur.instructions += 1;
+        out
+    }
+
+    /// Per-lane `atomicAdd(&ptr[idx], val)`, serialized in lane order.
+    /// Returns the pre-add value each lane observed.
+    pub fn atomic_add(&mut self, ptr: DevicePtr, idx: &Lanes, val: &Lanes, mask: Mask) -> Lanes {
+        let mut out = Lanes::default();
+        for lane in mask.iter() {
+            let i = idx.get(lane) as usize;
+            let old = self.gpu.mem.read(ptr, i);
+            out.set(lane, old);
+            self.gpu.mem.write(ptr, i, old.wrapping_add(val.get(lane)));
+            self.charge_atomic(ptr, idx.get(lane));
+        }
+        self.gpu.cur.instructions += 1;
+        out
+    }
+
+    /// Per-lane `atomicMin(&ptr[idx], val)`; returns pre-min values.
+    pub fn atomic_min(&mut self, ptr: DevicePtr, idx: &Lanes, val: &Lanes, mask: Mask) -> Lanes {
+        let mut out = Lanes::default();
+        for lane in mask.iter() {
+            let i = idx.get(lane) as usize;
+            let old = self.gpu.mem.read(ptr, i);
+            out.set(lane, old);
+            if val.get(lane) < old {
+                self.gpu.mem.write(ptr, i, val.get(lane));
+            }
+            self.charge_atomic(ptr, idx.get(lane));
+        }
+        self.gpu.cur.instructions += 1;
+        out
+    }
+
+    /// Warp shuffle: lane `i` receives the value of lane `src_lane.get(i) % 32`
+    /// (like CUDA `__shfl_sync`). Register traffic only — no memory cost.
+    pub fn shfl(&mut self, vals: &Lanes, src_lane: &Lanes, mask: Mask) -> Lanes {
+        let mut out = Lanes::default();
+        for lane in mask.iter() {
+            out.set(lane, vals.get(src_lane.get(lane) as usize % LANES));
+        }
+        self.alu(1);
+        out
+    }
+
+    /// Warp-wide minimum over the active lanes (butterfly reduction,
+    /// log2(32) = 5 instructions). Returns `u32::MAX` when no lane is
+    /// active.
+    pub fn reduce_min(&mut self, vals: &Lanes, mask: Mask) -> u32 {
+        self.alu(5);
+        mask.iter().map(|l| vals.get(l)).min().unwrap_or(u32::MAX)
+    }
+
+    /// Warp-wide wrapping sum over the active lanes (butterfly reduction).
+    pub fn reduce_add(&mut self, vals: &Lanes, mask: Mask) -> u32 {
+        self.alu(5);
+        mask.iter().fold(0u32, |a, l| a.wrapping_add(vals.get(l)))
+    }
+
+    /// Exclusive prefix sum over the active lanes, in lane order: each
+    /// active lane receives the sum of the active lanes before it
+    /// (inactive lanes receive 0). The building block of warp-level
+    /// compaction (Gunrock-style filters use the block-level analogue).
+    pub fn exclusive_scan_add(&mut self, vals: &Lanes, mask: Mask) -> Lanes {
+        let mut out = Lanes::default();
+        let mut acc = 0u32;
+        for lane in mask.iter() {
+            out.set(lane, acc);
+            acc = acc.wrapping_add(vals.get(lane));
+        }
+        self.alu(5);
+        out
+    }
+
+    /// Untimed, uncounted read of one element — **instrumentation only**
+    /// (e.g. the path-length probe behind the paper's Table 4). Does not
+    /// touch the caches, charge cycles, or count as an instruction.
+    #[inline]
+    pub fn peek(&self, ptr: DevicePtr, idx: u32) -> u32 {
+        self.gpu.mem.read(ptr, idx as usize)
+    }
+
+    fn charge_atomic(&mut self, ptr: DevicePtr, idx: u32) {
+        let addr = ptr.byte_addr(idx as usize);
+        // Atomics bypass L1 and are resolved at L2 as one read-modify-write.
+        let l2r = self.gpu.l2.access(addr, false);
+        if matches!(l2r, Lookup::Miss { .. }) {
+            self.gpu.cur.dram += 1;
+        }
+        let _ = self.gpu.l2.access(addr, true);
+        self.gpu.sm_cycles[self.sm] += self.gpu.profile.atomic_cycles;
+        self.gpu.cur.atomics += 1;
+    }
+
+    /// Runs the coalescer for one warp memory instruction and charges the
+    /// resulting transactions through the cache hierarchy.
+    fn issue_transactions(&mut self, ptr: DevicePtr, idx: &Lanes, mask: Mask, is_write: bool) {
+        let sector = self.gpu.l2.sector_bytes();
+        // Collect distinct sector addresses across active lanes. 32 lanes
+        // touch at most 32 sectors; a fixed array avoids allocation.
+        let mut sectors = [u64::MAX; LANES];
+        let mut count = 0;
+        for lane in mask.iter() {
+            let a = ptr.byte_addr(idx.get(lane) as usize) / sector * sector;
+            if !sectors[..count].contains(&a) {
+                sectors[count] = a;
+                count += 1;
+            }
+        }
+        let prof_l1 = self.gpu.profile.l1_hit_cycles;
+        let prof_l2 = self.gpu.profile.l2_hit_cycles;
+        let prof_dram = self.gpu.profile.dram_cycles;
+        for &addr in &sectors[..count] {
+            let l1 = &mut self.gpu.l1[self.sm];
+            match l1.access(addr, is_write) {
+                Lookup::Hit => {
+                    self.gpu.cur.l1_hits += 1;
+                    self.gpu.sm_cycles[self.sm] += prof_l1;
+                }
+                Lookup::Miss { evicted_dirty } => {
+                    // Fill from L2 (write-allocate: stores also fill).
+                    let l2r = self.gpu.l2.access(addr, false);
+                    let cost = match l2r {
+                        Lookup::Hit => prof_l2,
+                        Lookup::Miss { .. } => {
+                            self.gpu.cur.dram += 1;
+                            prof_dram
+                        }
+                    };
+                    self.gpu.sm_cycles[self.sm] += cost;
+                    // Dirty sectors evicted from L1 are L2 write accesses.
+                    for _ in 0..evicted_dirty {
+                        let _ = self.gpu.l2.access(addr, true);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Execution context of one thread block (for block-granularity kernels).
+pub struct BlockCtx<'a> {
+    gpu: &'a mut Gpu,
+    sm: usize,
+    block_idx: usize,
+    num_blocks: usize,
+}
+
+impl<'a> BlockCtx<'a> {
+    pub(crate) fn new(gpu: &'a mut Gpu, sm: usize, block_idx: usize, num_blocks: usize) -> Self {
+        BlockCtx {
+            gpu,
+            sm,
+            block_idx,
+            num_blocks,
+        }
+    }
+
+    /// Index of this block in the launch.
+    pub fn block_idx(&self) -> usize {
+        self.block_idx
+    }
+
+    /// Number of blocks in the launch.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Threads per block on this device.
+    pub fn threads_per_block(&self) -> usize {
+        self.gpu.profile().threads_per_block
+    }
+
+    /// Runs `body` once per warp of this block, in warp order. Warps run
+    /// to completion sequentially, which is equivalent to hardware for
+    /// kernels without intra-block synchronization (ECL-CC's kernels have
+    /// none).
+    pub fn for_each_warp<F>(&mut self, mut body: F)
+    where
+        F: FnMut(&mut WarpCtx),
+    {
+        let warps = self.gpu.profile().warps_per_block();
+        let tpb = self.gpu.profile().threads_per_block as u32;
+        for w in 0..warps {
+            let base = self.block_idx as u32 * tpb + (w * LANES) as u32;
+            let mut ctx = WarpCtx::new(self.gpu, self.sm, base, tpb, Mask::ALL);
+            body(&mut ctx);
+            self.gpu.cur.warps += 1;
+        }
+    }
+
+    /// Warp-uniform load performed once at block scope (e.g. reading this
+    /// block's worklist entry).
+    pub fn load_uniform(&mut self, ptr: DevicePtr, idx: u32) -> u32 {
+        // Base thread ID is irrelevant for a single-lane uniform load.
+        let mut ctx = WarpCtx::new(self.gpu, self.sm, 0, 1, Mask(1));
+        ctx.load_uniform(ptr, idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    #[test]
+    fn load_inactive_lanes_untouched() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let buf = gpu.alloc_from(&[7; 32]);
+        gpu.launch_warps("t", 32, |w| {
+            let v = w.load(buf, &w.thread_ids(), Mask::first(4));
+            assert_eq!(v.get(0), 7);
+            assert_eq!(v.get(4), 0, "inactive lane must read nothing");
+        });
+    }
+
+    #[test]
+    fn store_conflict_resolved_deterministically() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let buf = gpu.alloc(1);
+        gpu.launch_warps("t", 32, |w| {
+            let vals = w.thread_ids();
+            w.store(buf, &Lanes::splat(0), &vals, Mask::ALL);
+        });
+        assert_eq!(gpu.download(buf)[0], 31, "highest lane wins");
+    }
+
+    #[test]
+    fn atomic_min_takes_minimum() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let buf = gpu.alloc_from(&[100]);
+        gpu.launch_warps("t", 32, |w| {
+            let vals = w.thread_ids().add_scalar(3);
+            let _ = w.atomic_min(buf, &Lanes::splat(0), &vals, Mask::ALL);
+        });
+        assert_eq!(gpu.download(buf)[0], 3);
+    }
+
+    #[test]
+    fn coalescer_counts_sectors_not_lanes() {
+        let mut gpu = Gpu::new(DeviceProfile::titan_x());
+        let buf = gpu.alloc(64);
+        let k = gpu.launch_warps("t", 32, |w| {
+            // All 32 lanes read consecutive words: 32 * 4 B = 128 B = 4
+            // sectors → 4 transactions, all L2 reads (cold L1).
+            let _ = w.load(buf, &w.thread_ids(), Mask::ALL);
+        });
+        assert_eq!(k.l2_read_accesses, 4);
+    }
+
+    #[test]
+    fn uniform_load_single_transaction() {
+        let mut gpu = Gpu::new(DeviceProfile::titan_x());
+        let buf = gpu.alloc_from(&[5, 6, 7]);
+        gpu.launch_warps("t", 32, |w| {
+            assert_eq!(w.load_uniform(buf, 2), 7);
+        });
+        assert_eq!(gpu.kernel_stats()[0].l2_read_accesses, 1);
+    }
+
+    #[test]
+    fn shfl_broadcast_and_rotate() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        gpu.launch_warps("t", 32, |w| {
+            let vals = w.thread_ids();
+            // Broadcast lane 5 to everyone.
+            let b = w.shfl(&vals, &Lanes::splat(5), Mask::ALL);
+            assert_eq!(b, Lanes::splat(5));
+            // Rotate by one.
+            let idx = Lanes::iota(1, 1); // lane 31 reads 32 % 32 = 0
+            let r = w.shfl(&vals, &idx, Mask::ALL);
+            assert_eq!(r.get(0), 1);
+            assert_eq!(r.get(31), 0);
+        });
+    }
+
+    #[test]
+    fn warp_reductions() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        gpu.launch_warps("t", 32, |w| {
+            let vals = w.thread_ids().add_scalar(10);
+            assert_eq!(w.reduce_min(&vals, Mask::ALL), 10);
+            assert_eq!(w.reduce_min(&vals, Mask(0b1000)), 13);
+            assert_eq!(w.reduce_min(&vals, Mask::NONE), u32::MAX);
+            assert_eq!(w.reduce_add(&Lanes::splat(2), Mask::ALL), 64);
+            assert_eq!(w.reduce_add(&Lanes::splat(2), Mask::first(5)), 10);
+        });
+    }
+
+    #[test]
+    fn warp_scan_compaction_pattern() {
+        // The canonical use: exclusive scan of 0/1 flags gives each
+        // surviving lane its output slot.
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        gpu.launch_warps("t", 32, |w| {
+            let keep = Mask(0b1011_0110);
+            let ones = Lanes::splat(1);
+            let slots = w.exclusive_scan_add(&ones, keep);
+            let expected: Vec<u32> = (0..keep.count() as u32).collect();
+            let got: Vec<u32> = keep.iter().map(|l| slots.get(l)).collect();
+            assert_eq!(got, expected);
+        });
+    }
+
+    #[test]
+    fn block_ctx_warp_ids() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny()); // 64 threads/block
+        let mut seen = Vec::new();
+        gpu.launch_blocks("t", 3, |b| {
+            let bi = b.block_idx() as u32;
+            b.for_each_warp(|w| {
+                let first = w.thread_ids().get(0);
+                assert_eq!(w.total_threads(), 64);
+                assert!(first / 64 == bi);
+            });
+            seen.push(b.block_idx());
+        });
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

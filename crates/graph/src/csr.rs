@@ -1,0 +1,294 @@
+//! Compressed-sparse-row (CSR) undirected graph.
+
+use crate::Vertex;
+
+/// An undirected graph in CSR form.
+///
+/// Each undirected edge `{u, v}` is stored twice, once in the adjacency list
+/// of `u` and once in that of `v`, exactly like the paper's inputs ("since
+/// the graphs are stored in CSR format, each undirected edge is represented
+/// by two directed edges", Table 2 footnote). Consequently
+/// [`num_directed_edges`](Self::num_directed_edges) is twice the number of
+/// undirected edges.
+///
+/// Invariants (enforced by [`CsrGraph::from_parts`] and the builder):
+/// * `offsets.len() == n + 1`, `offsets[0] == 0`, `offsets[n] == adj.len()`,
+/// * offsets are non-decreasing,
+/// * every adjacency entry is `< n`,
+/// * no self-loops, no duplicate neighbors, and the edge set is symmetric.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Box<[usize]>,
+    adj: Box<[Vertex]>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from CSR arrays, validating all invariants.
+    ///
+    /// Returns an error string describing the first violated invariant.
+    /// Prefer [`crate::GraphBuilder`] unless the arrays are already clean.
+    pub fn from_parts(offsets: Vec<usize>, adj: Vec<Vertex>) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets must have at least one entry".into());
+        }
+        if offsets[0] != 0 {
+            return Err(format!("offsets[0] must be 0, got {}", offsets[0]));
+        }
+        if *offsets.last().unwrap() != adj.len() {
+            return Err(format!(
+                "offsets[n] = {} must equal adjacency length {}",
+                offsets.last().unwrap(),
+                adj.len()
+            ));
+        }
+        let n = offsets.len() - 1;
+        if n > Vertex::MAX as usize {
+            return Err(format!("too many vertices for u32 IDs: {n}"));
+        }
+        for w in offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("offsets must be non-decreasing".into());
+            }
+        }
+        for (i, &v) in adj.iter().enumerate() {
+            if (v as usize) >= n {
+                return Err(format!("adjacency entry {i} = {v} out of range (n = {n})"));
+            }
+        }
+        let g = CsrGraph {
+            offsets: offsets.into_boxed_slice(),
+            adj: adj.into_boxed_slice(),
+        };
+        for u in 0..n as Vertex {
+            let nbrs = g.neighbors(u);
+            for &v in nbrs {
+                if v == u {
+                    return Err(format!("self-loop at vertex {u}"));
+                }
+                if !g.neighbors(v).contains(&u) {
+                    return Err(format!("edge ({u}, {v}) has no back edge"));
+                }
+            }
+            for w in nbrs.windows(2) {
+                if w[0] == w[1] {
+                    return Err(format!("duplicate neighbor {} at vertex {u}", w[0]));
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Builds a graph from CSR arrays **without** validating the symmetry /
+    /// dedup invariants (offset shape is still checked). Intended for
+    /// generators that construct provably clean arrays; debug builds assert
+    /// full validity.
+    pub fn from_parts_unchecked(offsets: Vec<usize>, adj: Vec<Vertex>) -> Self {
+        debug_assert!(Self::from_parts(offsets.clone(), adj.clone()).is_ok());
+        assert!(!offsets.is_empty() && offsets[0] == 0);
+        assert_eq!(*offsets.last().unwrap(), adj.len());
+        CsrGraph {
+            offsets: offsets.into_boxed_slice(),
+            adj: adj.into_boxed_slice(),
+        }
+    }
+
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of *directed* adjacency entries (twice the undirected edges).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The neighbors of `v` as a slice (sorted ascending by construction
+    /// when built through [`crate::GraphBuilder`]).
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Start offset of `v`'s adjacency list within [`adjacency`](Self::adjacency).
+    #[inline]
+    pub fn neighbor_start(&self, v: Vertex) -> usize {
+        self.offsets[v as usize]
+    }
+
+    /// End offset (exclusive) of `v`'s adjacency list.
+    #[inline]
+    pub fn neighbor_end(&self, v: Vertex) -> usize {
+        self.offsets[v as usize + 1]
+    }
+
+    /// The raw offsets array (`n + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw adjacency array (`2m` entries).
+    #[inline]
+    pub fn adjacency(&self) -> &[Vertex] {
+        &self.adj
+    }
+
+    /// Iterator over all vertices `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        0..self.num_vertices() as Vertex
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with
+    /// `u < v` (the direction the paper's hooking processes).
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterator over every directed adjacency entry `(u, v)` (both
+    /// directions of each undirected edge).
+    pub fn directed_edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).iter().copied().map(move |v| (u, v)))
+    }
+
+    /// Returns `true` if `{u, v}` is an edge (binary search; requires sorted
+    /// adjacency lists, which the builder guarantees).
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all vertices (0 for an empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0.0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_directed_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("n", &self.num_vertices())
+            .field("m", &self.num_edges())
+            .finish()
+    }
+}
+
+/// Iterator over the neighbors of one vertex.
+///
+/// Thin alias kept for API stability; [`CsrGraph::neighbors`] returning a
+/// slice is the preferred access path in hot loops.
+pub type NeighborIter<'a> = std::slice::Iter<'a, Vertex>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        // 0-1, 1-2, 0-2
+        CsrGraph::from_parts(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1]).unwrap()
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_directed_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_parts(vec![0], vec![]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn singleton_vertices() {
+        let g = CsrGraph::from_parts(vec![0, 0, 0, 0], vec![]).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn edges_iterates_once_per_undirected_edge() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.directed_edges().count(), 6);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = CsrGraph::from_parts(vec![0, 1], vec![0]).unwrap_err();
+        assert!(err.contains("self-loop"), "{err}");
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let err = CsrGraph::from_parts(vec![0, 1, 1], vec![1]).unwrap_err();
+        assert!(err.contains("back edge"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_neighbor() {
+        let err = CsrGraph::from_parts(vec![0, 2, 4], vec![1, 1, 0, 0]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_offsets() {
+        assert!(CsrGraph::from_parts(vec![], vec![]).is_err());
+        assert!(CsrGraph::from_parts(vec![1, 1], vec![1]).is_err());
+        assert!(CsrGraph::from_parts(vec![0, 2, 1], vec![1, 0]).is_err());
+        assert!(CsrGraph::from_parts(vec![0, 1], vec![5]).is_err());
+    }
+
+    #[test]
+    fn degree_extremes() {
+        let g = triangle();
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+    }
+}

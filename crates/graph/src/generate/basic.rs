@@ -1,0 +1,141 @@
+//! Elementary graph shapes used throughout the test suites: paths, cycles,
+//! stars, cliques, trees. These exercise degenerate degree distributions
+//! (the extremes the paper's load-balancing kernels bucket on).
+
+use crate::{CsrGraph, GraphBuilder};
+
+/// Path graph `0 - 1 - … - (n-1)`; the worst case for pointer-jumping depth.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge((i - 1) as u32, i as u32);
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+/// Cycle graph on `n` vertices (`n >= 3` gives a proper cycle; smaller `n`
+/// degrades to a path).
+pub fn cycle(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for i in 1..n {
+        b.add_edge((i - 1) as u32, i as u32);
+    }
+    if n >= 3 {
+        b.add_edge((n - 1) as u32, 0);
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+/// Star graph: vertex 0 connected to all others. Maximum possible degree
+/// skew — lands entirely in the paper's third (block-granularity) kernel.
+pub fn star(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge(0, i as u32);
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i as u32, j as u32);
+        }
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+/// `k` disjoint cliques of `size` vertices each: a graph with exactly `k`
+/// connected components of equal size.
+pub fn disjoint_cliques(k: usize, size: usize) -> CsrGraph {
+    let n = k * size;
+    let mut b = GraphBuilder::with_capacity(n, k * size * size / 2);
+    for c in 0..k {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                b.add_edge((base + i) as u32, (base + j) as u32);
+            }
+        }
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+/// Complete binary tree with `n` vertices (vertex `i` has children `2i+1`,
+/// `2i+2`).
+pub fn binary_tree(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge(((i - 1) / 2) as u32, i as u32);
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn tiny_cycles_degrade() {
+        assert_eq!(cycle(2).num_edges(), 1);
+        assert_eq!(cycle(1).num_edges(), 0);
+        assert_eq!(cycle(0).num_vertices(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(100);
+        assert_eq!(g.degree(0), 99);
+        assert_eq!(g.degree(50), 1);
+        assert_eq!(g.num_edges(), 99);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(8);
+        assert_eq!(g.num_edges(), 28);
+        assert!(g.vertices().all(|v| g.degree(v) == 7));
+    }
+
+    #[test]
+    fn cliques_are_disjoint() {
+        let g = disjoint_cliques(4, 5);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 4 * 10);
+        assert!(!g.has_edge(0, 5));
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(6), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Regular-lattice generators: 2D grids (the paper's `2d-2e20.sym`) and a
+//! triangulation-like planar mesh (the paper's `delaunay_n24`).
+
+use super::rng::Pcg32;
+use crate::{CsrGraph, GraphBuilder};
+
+/// 4-neighbor 2D grid with `rows × cols` vertices, row-major numbering.
+/// Matches the `2d-2e20.sym` profile: dmin 2, davg ≈ 4, dmax 4, one CC.
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+/// Planar triangulation stand-in: a jittered grid where each cell gains one
+/// of its two diagonals, giving davg ≈ 6 with a small dmax — the
+/// `delaunay_n24` profile (davg 6.0, dmax 26) without running an actual
+/// Delaunay construction at scale.
+pub fn delaunay_like(rows: usize, cols: usize, seed: u64) -> CsrGraph {
+    let n = rows * cols;
+    let mut rng = Pcg32::new(seed);
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                // one diagonal per cell, chosen at random, triangulating it
+                if rng.chance(0.5) {
+                    b.add_edge(id(r, c), id(r + 1, c + 1));
+                } else {
+                    b.add_edge(id(r, c + 1), id(r + 1, c));
+                }
+            }
+        }
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid2d(4, 5);
+        assert_eq!(g.num_vertices(), 20);
+        // edges: 4*4 horizontal per row * 4 rows? horizontal: 4 per row * 4 rows = 16; vertical: 5 * 3 = 15
+        assert_eq!(g.num_edges(), 4 * 4 + 5 * 3);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn grid_degenerate_shapes() {
+        assert_eq!(grid2d(1, 1).num_edges(), 0);
+        let line = grid2d(1, 10);
+        assert_eq!(line.num_edges(), 9);
+        assert_eq!(line.max_degree(), 2);
+        assert_eq!(grid2d(0, 5).num_vertices(), 0);
+    }
+
+    #[test]
+    fn delaunay_like_degrees() {
+        let g = delaunay_like(32, 32, 1);
+        let n = g.num_vertices() as f64;
+        let expected_edges = (31 * 32 * 2 + 31 * 31) as f64;
+        assert_eq!(g.num_edges() as f64, expected_edges);
+        let avg = 2.0 * expected_edges / n;
+        assert!(avg > 5.5 && avg < 6.0, "avg degree {avg}");
+        assert!(g.max_degree() <= 8);
+    }
+
+    #[test]
+    fn delaunay_deterministic() {
+        let a = delaunay_like(10, 10, 7);
+        let b = delaunay_like(10, 10, 7);
+        assert_eq!(a, b);
+        let c = delaunay_like(10, 10, 8);
+        assert_ne!(a, c);
+    }
+}

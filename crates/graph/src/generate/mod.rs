@@ -1,0 +1,29 @@
+//! Synthetic graph generators covering every topology class in the paper's
+//! Table 2.
+//!
+//! The paper evaluates on eighteen real-world and synthetic inputs spanning
+//! seven classes: 2D grids, triangulations, road maps, uniform random
+//! graphs, RMAT/Kronecker graphs, web crawls, and social/co-purchase/
+//! citation networks. The generators here produce stand-ins for each class
+//! with controllable size; [`crate::catalog`] instantiates them with
+//! parameters matching each paper graph's degree profile.
+//!
+//! All generators are **deterministic** given their seed: they use the
+//! in-crate PCG32 stream ([`rng::Pcg32`]) so results are stable across
+//! platforms and `rand` versions.
+
+pub mod basic;
+pub mod grid;
+pub mod powerlaw;
+pub mod random;
+pub mod rmat;
+pub mod rng;
+pub mod road;
+
+pub use basic::{binary_tree, complete, cycle, disjoint_cliques, path, star};
+pub use grid::{delaunay_like, grid2d};
+pub use powerlaw::{citation_graph, preferential_attachment, web_graph};
+pub use random::{gnm_random, gnp_random};
+pub use rmat::{kronecker, rmat, RmatParams};
+pub use rng::Pcg32;
+pub use road::road_network;

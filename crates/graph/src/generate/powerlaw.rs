@@ -1,0 +1,164 @@
+//! Power-law / scale-free generators: preferential attachment (social and
+//! co-purchase networks: `soc-LiveJournal1`, `amazon0601`, `as-skitter`),
+//! a copy-model web graph (`in-2004`, `uk-2002`), and a citation model
+//! (`citationCiteseer`, `cit-Patents`).
+
+use super::rng::Pcg32;
+use crate::{CsrGraph, GraphBuilder, Vertex};
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_per` existing vertices chosen proportionally to degree.
+///
+/// Produces a connected graph (when `m_per >= 1`) with a power-law tail,
+/// like the paper's social-network inputs.
+pub fn preferential_attachment(n: usize, m_per: usize, seed: u64) -> CsrGraph {
+    assert!(m_per >= 1, "m_per must be >= 1");
+    let mut rng = Pcg32::new(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m_per);
+    // `targets` holds one entry per directed edge endpoint, so sampling an
+    // index uniformly samples a vertex proportionally to its degree.
+    let mut targets: Vec<Vertex> = Vec::with_capacity(2 * n * m_per);
+    let seedlings = (m_per + 1).min(n);
+    // Seed with a small clique so early attachments have distinct targets.
+    for i in 0..seedlings {
+        for j in (i + 1)..seedlings {
+            b.add_edge(i as Vertex, j as Vertex);
+            targets.push(i as Vertex);
+            targets.push(j as Vertex);
+        }
+    }
+    for v in seedlings..n {
+        let mut chosen = [Vertex::MAX; 64];
+        let k = m_per.min(64);
+        let mut picked = 0;
+        let mut attempts = 0;
+        while picked < k && attempts < 50 * k {
+            attempts += 1;
+            let t = targets[rng.below_usize(targets.len())];
+            if !chosen[..picked].contains(&t) {
+                chosen[picked] = t;
+                picked += 1;
+            }
+        }
+        for &t in &chosen[..picked] {
+            b.add_edge(v as Vertex, t);
+            targets.push(v as Vertex);
+            targets.push(t);
+        }
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+/// Copy-model web graph: each new page either copies the out-links of a
+/// random earlier page (probability `copy_p`) or links uniformly at random.
+/// A fraction `orphan_p` of pages receive no links at all, reproducing the
+/// `dmin = 0` rows of Table 2 (`in-2004`, `uk-2002`).
+pub fn web_graph(n: usize, links_per: usize, copy_p: f64, orphan_p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&copy_p) && (0.0..=1.0).contains(&orphan_p));
+    let mut rng = Pcg32::new(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * links_per);
+    // Out-link lists kept only to power the copy mechanism.
+    let mut outlinks: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+    for v in 1..n {
+        if rng.chance(orphan_p) {
+            continue;
+        }
+        let mut links = Vec::with_capacity(links_per);
+        if v > 1 && rng.chance(copy_p) {
+            let proto = rng.below(v as u32) as usize;
+            for &t in outlinks[proto].iter().take(links_per) {
+                links.push(t);
+            }
+        }
+        while links.len() < links_per && (links.len() as u32) < v as u32 {
+            let t = rng.below(v as u32);
+            if !links.contains(&t) {
+                links.push(t);
+            }
+        }
+        for &t in &links {
+            b.add_edge(v as Vertex, t);
+        }
+        outlinks[v] = links;
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+/// Citation network model: papers arrive in order and cite `cites_per`
+/// earlier papers with recency bias (`recency` in `(0, 1]`; smaller values
+/// bias harder toward recent papers). Old papers never gain out-edges,
+/// giving the moderate skew of `cit-Patents` / `citationCiteseer`.
+pub fn citation_graph(n: usize, cites_per: usize, recency: f64, seed: u64) -> CsrGraph {
+    assert!(recency > 0.0 && recency <= 1.0);
+    let mut rng = Pcg32::new(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * cites_per);
+    for v in 1..n {
+        let window = ((v as f64 * recency).ceil() as u32).max(1);
+        let lo = v as u32 - window;
+        for _ in 0..cites_per.min(v) {
+            let t = lo + rng.below(window);
+            if t != v as u32 {
+                b.add_edge(v as Vertex, t);
+            }
+        }
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_is_connected_and_skewed() {
+        let g = preferential_attachment(2000, 4, 1);
+        assert_eq!(g.num_vertices(), 2000);
+        assert!(g.min_degree() >= 1);
+        assert!(g.max_degree() > 40, "max degree {}", g.max_degree());
+        // Rough edge count: ~ n * m_per.
+        let m = g.num_edges();
+        assert!(m > 7000 && m < 8100, "m = {m}");
+    }
+
+    #[test]
+    fn ba_deterministic() {
+        assert_eq!(
+            preferential_attachment(300, 3, 9),
+            preferential_attachment(300, 3, 9)
+        );
+    }
+
+    #[test]
+    fn ba_small_n() {
+        let g = preferential_attachment(3, 5, 1);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3); // just the seed clique
+    }
+
+    #[test]
+    fn web_graph_has_orphans() {
+        let g = web_graph(3000, 10, 0.5, 0.1, 2);
+        assert_eq!(g.min_degree(), 0);
+        // Orphan pages emit no links but may still receive them from later
+        // pages, so only a fraction of the 10% stay fully isolated.
+        let iso = g.vertices().filter(|&v| g.degree(v) == 0).count();
+        assert!(iso > 20, "isolated {iso}");
+        assert!(g.max_degree() as f64 > 3.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn citation_graph_shape() {
+        let g = citation_graph(2000, 5, 0.3, 3);
+        assert!(g.avg_degree() > 6.0 && g.avg_degree() < 11.0, "{}", g.avg_degree());
+        // Moderate, not extreme, skew.
+        assert!(g.max_degree() < 500);
+    }
+
+    #[test]
+    fn citation_deterministic() {
+        assert_eq!(citation_graph(500, 4, 0.5, 7), citation_graph(500, 4, 0.5, 7));
+    }
+}

@@ -1,0 +1,156 @@
+//! Uniform random graphs: G(n, m) and G(n, p) Erdős–Rényi models.
+//! Stand-ins for the paper's `r4-2e23.sym` (uniform random, davg 8).
+
+use super::rng::Pcg32;
+use crate::{CsrGraph, GraphBuilder, Vertex};
+
+/// G(n, m): exactly `m` distinct undirected edges chosen uniformly.
+///
+/// Sampling draws random pairs and relies on the builder's dedup, retrying
+/// until `m` distinct non-loop edges exist; for the sparse graphs used here
+/// (`m ≪ n²/2`) the retry rate is negligible.
+pub fn gnm_random(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2 || m == 0, "cannot place edges with fewer than 2 vertices");
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_m, "requested {m} edges but only {max_m} possible");
+    let mut rng = Pcg32::new(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.below(n as u32);
+        let v = rng.below(n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+/// G(n, p): each of the `n(n-1)/2` possible edges present independently
+/// with probability `p`. Uses geometric skipping so the cost is
+/// proportional to the number of generated edges, not to `n²`.
+pub fn gnp_random(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut b = GraphBuilder::new(n);
+    b.ensure_vertices(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    let mut rng = Pcg32::new(seed);
+    let total = n as u64 * (n as u64 - 1) / 2;
+    // Walk edge indices with geometric gaps: skip ~ Geom(p).
+    let mut idx: u64 = 0;
+    let log1mp = (1.0 - p).ln();
+    loop {
+        let skip = if p >= 1.0 {
+            0
+        } else {
+            let u = rng.f64().max(f64::MIN_POSITIVE);
+            (u.ln() / log1mp).floor() as u64
+        };
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        let (u, v) = unrank_edge(idx, n as u64);
+        b.add_edge(u as Vertex, v as Vertex);
+        idx += 1;
+    }
+    b.build()
+}
+
+/// Maps a linear index in `[0, n(n-1)/2)` to the corresponding pair
+/// `(u, v)` with `u < v`, in lexicographic order.
+fn unrank_edge(idx: u64, n: u64) -> (u64, u64) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... easier: scan via
+    // closed-form using floating sqrt then fix up.
+    let mut u = {
+        let nf = n as f64;
+        let i = idx as f64;
+        // Solve u from cumulative count c(u) = u*n - u*(u+1)/2.
+        let disc = (2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * i;
+        (((2.0 * nf - 1.0) - disc.max(0.0).sqrt()) / 2.0).floor() as u64
+    };
+    let row_start = |u: u64| u * n - u * (u + 1) / 2;
+    while u > 0 && row_start(u) > idx {
+        u -= 1;
+    }
+    while row_start(u + 1) <= idx {
+        u += 1;
+    }
+    let v = u + 1 + (idx - row_start(u));
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exact_edges() {
+        let g = gnm_random(1000, 4000, 3);
+        assert_eq!(g.num_vertices(), 1000);
+        assert_eq!(g.num_edges(), 4000);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        assert_eq!(gnm_random(500, 1000, 9), gnm_random(500, 1000, 9));
+        assert_ne!(gnm_random(500, 1000, 9), gnm_random(500, 1000, 10));
+    }
+
+    #[test]
+    fn gnm_zero_edges() {
+        let g = gnm_random(10, 0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn gnm_dense_complete() {
+        let g = gnm_random(10, 45, 1);
+        assert_eq!(g.num_edges(), 45);
+        assert!(g.vertices().all(|v| g.degree(v) == 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn gnm_too_many_edges_panics() {
+        gnm_random(4, 7, 1);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let g = gnp_random(400, 0.05, 5);
+        let expected = 0.05 * (400.0 * 399.0 / 2.0);
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp_random(50, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp_random(10, 1.0, 1).num_edges(), 45);
+        assert_eq!(gnp_random(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(gnp_random(1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn unrank_covers_all_pairs() {
+        let n = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            let (u, v) = unrank_edge(idx, n);
+            assert!(u < v && v < n, "bad pair ({u},{v}) at {idx}");
+            assert!(seen.insert((u, v)), "duplicate pair at {idx}");
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+}

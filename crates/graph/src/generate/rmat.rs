@@ -1,0 +1,144 @@
+//! RMAT / Kronecker recursive-matrix generators (Chakrabarti et al. 2004;
+//! Graph500). Stand-ins for the paper's `rmat16.sym`, `rmat22.sym`, and
+//! `kron_g500-logn21` inputs: heavy-tailed degree distributions, many tiny
+//! components, isolated vertices (dmin 0).
+
+use super::rng::Pcg32;
+use crate::{CsrGraph, GraphBuilder, Vertex};
+
+/// Quadrant probabilities for the recursive matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability (`1 - a - b - c`).
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The classic RMAT parameters used by the GTgraph / Galois generators.
+    pub const GALOIS: RmatParams = RmatParams {
+        a: 0.45,
+        b: 0.15,
+        c: 0.15,
+        d: 0.25,
+    };
+
+    /// Graph500 Kronecker parameters (skewed much harder: dmax in the
+    /// hundreds of thousands at scale, > 25% isolated vertices).
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "RMAT quadrant probabilities must sum to 1, got {sum}"
+        );
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "negative quadrant probability"
+        );
+    }
+}
+
+/// RMAT graph with `2^scale` vertices and `edge_factor * 2^scale` undirected
+/// edge samples (duplicates collapse, so the final edge count is slightly
+/// lower, mirroring how the paper's RMAT inputs were produced and cleaned).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> CsrGraph {
+    params.validate();
+    assert!(scale < 31, "scale {scale} too large for u32 vertices");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = Pcg32::new(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let (u, v) = sample_cell(scale, params, &mut rng);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+/// Kronecker (Graph500) graph: RMAT with the Graph500 quadrant weights and
+/// per-level probability noise, which sharpens the degree skew.
+pub fn kronecker(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    rmat(scale, edge_factor, RmatParams::GRAPH500, seed)
+}
+
+fn sample_cell(scale: u32, p: RmatParams, rng: &mut Pcg32) -> (Vertex, Vertex) {
+    let mut u: u32 = 0;
+    let mut v: u32 = 0;
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r = rng.f64();
+        if r < p.a {
+            // top-left: no bits set
+        } else if r < p.a + p.b {
+            v |= 1;
+        } else if r < p.a + p.b + p.c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(10, 8, RmatParams::GALOIS, 1);
+        assert_eq!(g.num_vertices(), 1024);
+        // Duplicates collapse: expect fewer than 8192 but the bulk kept.
+        assert!(g.num_edges() > 4000 && g.num_edges() <= 8192, "{}", g.num_edges());
+    }
+
+    #[test]
+    fn rmat_skewed_degrees() {
+        let g = rmat(12, 8, RmatParams::GALOIS, 2);
+        // Heavy tail: max degree far above average.
+        assert!(g.max_degree() as f64 > 6.0 * g.avg_degree());
+        // RMAT leaves isolated vertices (dmin 0) like rmat16/22 in Table 2.
+        assert_eq!(g.min_degree(), 0);
+    }
+
+    #[test]
+    fn kronecker_more_skewed_than_rmat() {
+        let r = rmat(12, 16, RmatParams::GALOIS, 3);
+        let k = kronecker(12, 16, 3);
+        assert!(k.max_degree() > r.max_degree());
+        let iso_k = k.vertices().filter(|&v| k.degree(v) == 0).count();
+        let iso_r = r.vertices().filter(|&v| r.degree(v) == 0).count();
+        assert!(iso_k > iso_r, "kron isolated {iso_k} vs rmat {iso_r}");
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        assert_eq!(
+            rmat(8, 8, RmatParams::GALOIS, 5),
+            rmat(8, 8, RmatParams::GALOIS, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_params_panic() {
+        rmat(4, 1, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0 }, 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Deterministic PCG32 random stream for the generators.
+//!
+//! A tiny permuted-congruential generator (PCG-XSH-RR 64/32, O'Neill 2014).
+//! We carry our own implementation instead of `rand`'s so generated graphs
+//! are bit-identical across `rand` releases and platforms — benchmark
+//! inputs must never drift under dependency updates.
+
+/// PCG-XSH-RR 64/32 generator.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const MULTIPLIER: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Creates a generator from a seed; distinct seeds give independent
+    /// streams for practical purposes.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (seed << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed ^ 0x9e3779b97f4a7c15);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next uniform `u32`.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next uniform `u64`.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift with
+    /// rejection (unbiased). `bound` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, bound: u32) -> u32 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u32();
+            let m = (x as u64) * (bound as u64);
+            let low = m as u32;
+            if low >= bound || low >= (bound.wrapping_neg() % bound) {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`; `bound` must fit in `u32`.
+    #[inline]
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        debug_assert!(bound <= u32::MAX as usize);
+        self.below(bound as u32) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 32 bits of entropy.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        self.next_u32() as f64 * (1.0 / 4294967296.0)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Splits off an independent child stream (for parallel generation).
+    pub fn split(&mut self) -> Pcg32 {
+        Pcg32::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Pcg32::new(42);
+        let mut b = Pcg32::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = Pcg32::new(1);
+        let mut b = Pcg32::new(2);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 3, "streams nearly identical: {same} collisions");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Pcg32::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = r.below(10);
+            assert!(x < 10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some residues never produced");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Pcg32::new(3);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_one_is_zero() {
+        let mut r = Pcg32::new(9);
+        for _ in 0..10 {
+            assert_eq!(r.below(1), 0);
+        }
+    }
+
+    #[test]
+    fn mean_roughly_half() {
+        let mut r = Pcg32::new(11);
+        let mean: f64 = (0..10_000).map(|_| r.f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn split_streams_independent() {
+        let mut parent = Pcg32::new(5);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        let same = (0..100).filter(|_| c1.next_u32() == c2.next_u32()).count();
+        assert!(same < 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Road-network stand-in: a sparse partial grid with long chains.
+//!
+//! The paper's road maps (`europe_osm`, `USA-road-d.*`) have average degree
+//! 2.1–2.8, tiny maximum degree (8–13), one huge component, and — key for
+//! the CC algorithms — enormous diameter, which is what makes `europe_osm`
+//! the adversarial input for pointer jumping in §5.1 (average path length
+//! 4.26, max 122, and the one input where single jumping beats intermediate
+//! jumping).
+
+use super::rng::Pcg32;
+use crate::{CsrGraph, GraphBuilder};
+
+/// Generates a road-like network on a `rows × cols` lattice.
+///
+/// Each lattice edge is kept with probability `keep_p`; kept edges are then
+/// augmented with a spanning "highway" path through all vertices in
+/// boustrophedon order with probability `spine_p` per segment, which keeps
+/// the graph nearly connected while preserving degree ≈ 2–3 and a huge
+/// diameter. `keep_p ≈ 0.3, spine_p = 1.0` reproduces the europe_osm degree
+/// profile (davg ≈ 2.1); `keep_p ≈ 0.45` reproduces USA-road (davg ≈ 2.4).
+pub fn road_network(rows: usize, cols: usize, keep_p: f64, spine_p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&keep_p) && (0.0..=1.0).contains(&spine_p));
+    let n = rows * cols;
+    let mut rng = Pcg32::new(seed);
+    let mut b = GraphBuilder::with_capacity(n, (2.0 * n as f64 * keep_p) as usize + n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.chance(keep_p) {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows && rng.chance(keep_p) {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    // Boustrophedon spine: a single path visiting every vertex, snaking
+    // left-to-right on even rows and right-to-left on odd rows.
+    let mut prev: Option<u32> = None;
+    for r in 0..rows {
+        for c in 0..cols {
+            let c = if r % 2 == 0 { c } else { cols - 1 - c };
+            let cur = id(r, c);
+            if let Some(p) = prev {
+                if rng.chance(spine_p) {
+                    b.add_edge(p, cur);
+                }
+            }
+            prev = Some(cur);
+        }
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn europe_profile() {
+        let g = road_network(100, 100, 0.05, 1.0, 1);
+        let avg = g.avg_degree();
+        assert!(avg > 1.9 && avg < 2.5, "avg degree {avg}");
+        assert!(g.max_degree() <= 6);
+    }
+
+    #[test]
+    fn spine_keeps_one_component() {
+        // With spine_p = 1 the boustrophedon path visits every vertex.
+        let g = road_network(20, 20, 0.0, 1.0, 2);
+        // path graph: n-1 edges at least
+        assert!(g.num_edges() >= g.num_vertices() - 1);
+        // verify connectivity with a quick BFS
+        let n = g.num_vertices();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut cnt = 1;
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    cnt += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        assert_eq!(cnt, n, "spine failed to connect the lattice");
+    }
+
+    #[test]
+    fn usa_profile() {
+        let g = road_network(80, 80, 0.2, 1.0, 3);
+        let avg = g.avg_degree();
+        assert!(avg > 2.2 && avg < 3.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            road_network(30, 30, 0.3, 0.9, 4),
+            road_network(30, 30, 0.3, 0.9, 4)
+        );
+    }
+
+    #[test]
+    fn no_spine_many_components() {
+        let g = road_network(30, 30, 0.1, 0.0, 5);
+        // Mostly isolated vertices and small fragments.
+        assert!(g.num_edges() < 200);
+    }
+}

@@ -1,0 +1,451 @@
+//! Graph serialization: plain edge lists, DIMACS `.gr`, Matrix Market
+//! coordinate format, and a compact little-endian binary CSR format.
+//!
+//! The paper pulls inputs from four repositories (DIMACS, Galois, SNAP,
+//! SMC); these readers cover the formats those repositories distribute so
+//! real inputs can be dropped in where available. All readers feed
+//! [`GraphBuilder`], so dirty input (loops, duplicates, one-directional
+//! edges) is normalized exactly as the paper describes.
+
+use crate::{CsrGraph, GraphBuilder, Vertex};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Errors produced by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the input text, with a human-readable message.
+    Parse(String),
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn parse_err(msg: impl Into<String>) -> IoError {
+    IoError::Parse(msg.into())
+}
+
+/// Reads a whitespace-separated edge list (SNAP style): one `u v` pair per
+/// line, `#`-prefixed comment lines ignored. Vertex IDs are used as-is.
+pub fn read_edge_list(r: impl Read) -> Result<CsrGraph, IoError> {
+    let mut b = GraphBuilder::new(0);
+    for (lineno, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: Vertex = it
+            .next()
+            .ok_or_else(|| parse_err(format!("line {}: missing source", lineno + 1)))?
+            .parse()
+            .map_err(|e| parse_err(format!("line {}: {e}", lineno + 1)))?;
+        let v: Vertex = it
+            .next()
+            .ok_or_else(|| parse_err(format!("line {}: missing target", lineno + 1)))?
+            .parse()
+            .map_err(|e| parse_err(format!("line {}: {e}", lineno + 1)))?;
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Writes the graph as an edge list, each undirected edge once (`u < v`).
+pub fn write_edge_list(g: &CsrGraph, mut w: impl Write) -> io::Result<()> {
+    writeln!(w, "# ecl-graph edge list: {} vertices", g.num_vertices())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Reads a DIMACS shortest-path `.gr` file: `c` comments, one
+/// `p sp <n> <m>` problem line, and `a <u> <v> <w>` arc lines with
+/// 1-indexed vertices (weights ignored — CC is unweighted).
+pub fn read_dimacs(r: impl Read) -> Result<CsrGraph, IoError> {
+    let mut b = GraphBuilder::new(0);
+    let mut declared_n = None;
+    for (lineno, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("p ") {
+            let mut it = rest.split_whitespace();
+            let _kind = it.next();
+            let n: usize = it
+                .next()
+                .ok_or_else(|| parse_err("problem line missing n"))?
+                .parse()
+                .map_err(|e| parse_err(format!("problem line: {e}")))?;
+            declared_n = Some(n);
+            b.ensure_vertices(n);
+        } else if let Some(rest) = t.strip_prefix("a ") {
+            let mut it = rest.split_whitespace();
+            let u: Vertex = it
+                .next()
+                .ok_or_else(|| parse_err(format!("line {}: missing u", lineno + 1)))?
+                .parse()
+                .map_err(|e| parse_err(format!("line {}: {e}", lineno + 1)))?;
+            let v: Vertex = it
+                .next()
+                .ok_or_else(|| parse_err(format!("line {}: missing v", lineno + 1)))?
+                .parse()
+                .map_err(|e| parse_err(format!("line {}: {e}", lineno + 1)))?;
+            if u == 0 || v == 0 {
+                return Err(parse_err(format!("line {}: DIMACS vertices are 1-indexed", lineno + 1)));
+            }
+            b.add_edge(u - 1, v - 1);
+        } else {
+            return Err(parse_err(format!("line {}: unrecognized record '{t}'", lineno + 1)));
+        }
+    }
+    if let Some(n) = declared_n {
+        if b.num_vertices() > n {
+            return Err(parse_err(format!(
+                "arc endpoints exceed declared vertex count {n}"
+            )));
+        }
+    }
+    Ok(b.build())
+}
+
+/// Reads a Matrix Market coordinate-pattern file (the SMC distribution
+/// format): `%%MatrixMarket`-header, size line `rows cols nnz`, then
+/// 1-indexed `i j [value]` entries. The matrix must be square; values are
+/// ignored and the pattern is symmetrized.
+pub fn read_matrix_market(r: impl Read) -> Result<CsrGraph, IoError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    if !header.starts_with("%%MatrixMarket") {
+        return Err(parse_err("missing %%MatrixMarket header"));
+    }
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim().to_string();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|s| s.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| parse_err(format!("size line: {e}")))?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must have rows cols nnz"));
+    }
+    if dims[0] != dims[1] {
+        return Err(parse_err(format!("matrix must be square, got {}x{}", dims[0], dims[1])));
+    }
+    let mut b = GraphBuilder::with_capacity(dims[0], dims[2]);
+    b.ensure_vertices(dims[0]);
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: Vertex = it
+            .next()
+            .ok_or_else(|| parse_err(format!("entry {}: missing row", lineno + 1)))?
+            .parse()
+            .map_err(|e| parse_err(format!("entry {}: {e}", lineno + 1)))?;
+        let j: Vertex = it
+            .next()
+            .ok_or_else(|| parse_err(format!("entry {}: missing col", lineno + 1)))?
+            .parse()
+            .map_err(|e| parse_err(format!("entry {}: {e}", lineno + 1)))?;
+        if i == 0 || j == 0 {
+            return Err(parse_err("Matrix Market entries are 1-indexed"));
+        }
+        b.add_edge(i - 1, j - 1);
+    }
+    Ok(b.build())
+}
+
+/// Reads a Galois binary `.gr` file (format version 1) — the format the
+/// paper's Galois-sourced inputs (`2d-2e20.sym`, `r4-2e23.sym`,
+/// `rmat*.sym`) are distributed in: a 4×`u64` header (version,
+/// edge-data size, `n`, `m`), `n` little-endian `u64` *end* offsets,
+/// then `m` `u32` destinations (padded to 8-byte alignment). Edge data,
+/// if present, is ignored (CC is unweighted).
+pub fn read_galois_gr(mut r: impl Read) -> Result<CsrGraph, IoError> {
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut dyn Read| -> Result<u64, IoError> {
+        r.read_exact(&mut u64buf)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let version = read_u64(&mut r)?;
+    if version != 1 {
+        return Err(parse_err(format!("unsupported .gr version {version}")));
+    }
+    let _edge_data_size = read_u64(&mut r)?;
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut prev = 0u64;
+    for i in 0..n {
+        let end = read_u64(&mut r)?;
+        if end < prev || end as usize > m {
+            return Err(parse_err(format!("non-monotone out-index at node {i}")));
+        }
+        offsets.push(end as usize);
+        prev = end;
+    }
+    if offsets[n] != m {
+        return Err(parse_err(format!(
+            "last out-index {} != edge count {m}",
+            offsets[n]
+        )));
+    }
+    let mut dests = Vec::with_capacity(m);
+    let mut u32buf = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut u32buf)?;
+        dests.push(u32::from_le_bytes(u32buf));
+    }
+    // Normalize through the builder: .gr files are directed and may have
+    // loops/duplicates; the paper symmetrizes and cleans them (§4).
+    let mut b = GraphBuilder::with_capacity(n, m);
+    b.ensure_vertices(n);
+    for v in 0..n {
+        for &u in &dests[offsets[v]..offsets[v + 1]] {
+            if (u as usize) >= n {
+                return Err(parse_err(format!("destination {u} out of range")));
+            }
+            b.add_edge(v as Vertex, u);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Writes a Galois binary `.gr` file (version 1, no edge data), storing
+/// both directions of each edge, matching how the `.sym` inputs are
+/// distributed.
+pub fn write_galois_gr(g: &CsrGraph, mut w: impl Write) -> io::Result<()> {
+    w.write_all(&1u64.to_le_bytes())?; // version
+    w.write_all(&0u64.to_le_bytes())?; // edge data size
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_directed_edges() as u64).to_le_bytes())?;
+    for v in g.vertices() {
+        w.write_all(&(g.neighbor_end(v) as u64).to_le_bytes())?;
+    }
+    for &u in g.adjacency() {
+        w.write_all(&u.to_le_bytes())?;
+    }
+    // Pad the u32 destination block to 8-byte alignment.
+    if g.num_directed_edges() % 2 == 1 {
+        w.write_all(&[0u8; 4])?;
+    }
+    Ok(())
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"ECLCSR01";
+
+/// Writes the compact binary CSR format: magic, `n`, `2m`, offsets as
+/// `u64`, adjacency as `u32`, all little-endian. Round-trips exactly.
+pub fn write_binary(g: &CsrGraph, mut w: impl Write) -> io::Result<()> {
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_directed_edges() as u64).to_le_bytes())?;
+    for &o in g.offsets() {
+        w.write_all(&(o as u64).to_le_bytes())?;
+    }
+    for &v in g.adjacency() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads the binary CSR format written by [`write_binary`]. Validates all
+/// CSR invariants before returning.
+pub fn read_binary(mut r: impl Read) -> Result<CsrGraph, IoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(parse_err("bad magic; not an ECLCSR01 file"));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let dm = u64::from_le_bytes(buf8) as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut buf8)?;
+        offsets.push(u64::from_le_bytes(buf8) as usize);
+    }
+    let mut adj = Vec::with_capacity(dm);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..dm {
+        r.read_exact(&mut buf4)?;
+        adj.push(u32::from_le_bytes(buf4));
+    }
+    CsrGraph::from_parts(offsets, adj).map_err(IoError::Parse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = generate::gnm_random(200, 600, 1);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        // Isolated trailing vertices are lost in edge-list form; compare
+        // edges only.
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn edge_list_comments_and_blank_lines() {
+        let text = "# comment\n\n0 1\n% more\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_bad_token() {
+        let e = read_edge_list("0 x\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn dimacs_roundtrip_semantics() {
+        let text = "c road graph\np sp 4 3\na 1 2 10\na 2 3 5\na 3 2 5\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2); // (0,1), (1,2); duplicate collapsed
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_index() {
+        let e = read_dimacs("a 0 1 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn dimacs_rejects_out_of_range() {
+        let e = read_dimacs("p sp 2 1\na 1 5 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn matrix_market_basic() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n% c\n3 3 3\n1 2\n2 3\n3 3\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2); // diagonal entry (self loop) dropped
+    }
+
+    #[test]
+    fn matrix_market_rejects_rectangular() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 4 0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn galois_gr_roundtrip() {
+        let g = generate::rmat(8, 6, generate::RmatParams::GALOIS, 11);
+        let mut buf = Vec::new();
+        write_galois_gr(&g, &mut buf).unwrap();
+        let g2 = read_galois_gr(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn galois_gr_directed_input_symmetrized() {
+        // Hand-build a v1 .gr with only one direction per edge: 3 nodes,
+        // edges 0->1, 0->2 (out-index ends: 2, 2, 2).
+        let mut buf = Vec::new();
+        for v in [1u64, 0, 3, 2] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for end in [2u64, 2, 2] {
+            buf.extend_from_slice(&end.to_le_bytes());
+        }
+        for d in [1u32, 2] {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        let g = read_galois_gr(&buf[..]).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 0), "back edge must be added");
+    }
+
+    #[test]
+    fn galois_gr_rejects_bad_version_and_bounds() {
+        let mut buf = Vec::new();
+        for v in [2u64, 0, 1, 0] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(matches!(read_galois_gr(&buf[..]), Err(IoError::Parse(_))));
+
+        let mut buf = Vec::new();
+        for v in [1u64, 0, 2, 1] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for end in [1u64, 1] {
+            buf.extend_from_slice(&end.to_le_bytes());
+        }
+        buf.extend_from_slice(&9u32.to_le_bytes()); // dest out of range
+        assert!(matches!(read_galois_gr(&buf[..]), Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn binary_roundtrip_exact() {
+        let g = generate::rmat(8, 8, generate::RmatParams::GALOIS, 4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_bad_magic() {
+        let e = read_binary(&b"NOTMAGIC"[..]).unwrap_err();
+        assert!(matches!(e, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn binary_truncated() {
+        let g = generate::path(10);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_binary(&buf[..]), Err(IoError::Io(_))));
+    }
+}

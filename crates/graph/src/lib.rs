@@ -1,0 +1,46 @@
+//! Graph substrate for the ECL-CC reproduction.
+//!
+//! This crate provides the compressed-sparse-row (CSR) graph representation
+//! that every connected-components implementation in the workspace consumes,
+//! together with:
+//!
+//! * [`builder::GraphBuilder`] — turns an arbitrary edge list into a clean,
+//!   undirected, loop-free, deduplicated CSR graph (the normalization the
+//!   paper applies to its inputs in §4),
+//! * [`generate`] — synthetic generators for every topology class in the
+//!   paper's Table 2 (grids, road networks, uniform random, RMAT, Kronecker,
+//!   power-law web/social graphs, and degenerate shapes for testing),
+//! * [`io`] — plain edge-list, DIMACS `.gr`, Matrix Market, and a compact
+//!   binary format,
+//! * [`catalog`] — named stand-ins for the paper's eighteen input graphs at
+//!   configurable scale,
+//! * [`stats`] — the degree/component statistics reported in Table 2.
+//!
+//! Vertices are `u32` indices in `0..n`, matching the `int`-based CUDA code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod catalog;
+pub mod compressed;
+pub mod generate;
+pub mod io;
+pub mod stats;
+pub mod transform;
+
+mod csr;
+
+pub use builder::GraphBuilder;
+pub use compressed::CompressedGraph;
+pub use csr::{CsrGraph, NeighborIter};
+
+/// Vertex identifier type used across the workspace (matches the paper's
+/// 32-bit `int` vertex IDs).
+pub type Vertex = u32;
+
+/// An undirected edge expressed as a pair of endpoints.
+///
+/// The pair is unordered semantically: `(u, v)` and `(v, u)` denote the same
+/// undirected edge. Builders normalize direction internally.
+pub type Edge = (Vertex, Vertex);

@@ -1,0 +1,207 @@
+//! Graph transformations: vertex renumbering and subgraph extraction.
+//!
+//! The renumbering transforms back the paper's §5.1 observation that
+//! europe_osm "is particularly sensitive to the order in which the
+//! vertices are processed" — the `ordering` harness experiment runs
+//! ECL-CC under several permutations of the same graph.
+
+use crate::generate::Pcg32;
+use crate::{CsrGraph, GraphBuilder, Vertex};
+
+/// Relabels every vertex `v` as `perm[v]`. `perm` must be a permutation
+/// of `0..n` (checked).
+pub fn permute(g: &CsrGraph, perm: &[Vertex]) -> CsrGraph {
+    let n = g.num_vertices();
+    assert_eq!(perm.len(), n, "permutation length mismatch");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(
+            (p as usize) < n && !std::mem::replace(&mut seen[p as usize], true),
+            "not a permutation"
+        );
+    }
+    let mut b = GraphBuilder::with_capacity(n, g.num_edges());
+    for (u, v) in g.edges() {
+        b.add_edge(perm[u as usize], perm[v as usize]);
+    }
+    b.ensure_vertices(n);
+    b.build()
+}
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates, deterministic
+/// per seed).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<Vertex> {
+    let mut perm: Vec<Vertex> = (0..n as Vertex).collect();
+    let mut rng = Pcg32::new(seed);
+    for i in (1..n).rev() {
+        let j = rng.below_usize(i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// The reversing permutation `v ↦ n - 1 - v`.
+pub fn reverse_permutation(n: usize) -> Vec<Vertex> {
+    (0..n as Vertex).rev().collect()
+}
+
+/// Renumbers vertices by BFS visit order from vertex 0 (unreached
+/// vertices keep their relative order after all reached ones). BFS order
+/// gives neighbors nearby IDs — the locality-friendly extreme.
+pub fn bfs_permutation(g: &CsrGraph) -> Vec<Vertex> {
+    let n = g.num_vertices();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as Vertex {
+        if seen[s as usize] {
+            continue;
+        }
+        seen[s as usize] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &u in g.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    // order[k] = old vertex visited k-th; invert to perm[old] = new.
+    let mut perm = vec![0 as Vertex; n];
+    for (new_id, &old) in order.iter().enumerate() {
+        perm[old as usize] = new_id as Vertex;
+    }
+    perm
+}
+
+/// Extracts the induced subgraph over the vertices where `keep` is true.
+/// Returns the subgraph and the mapping `old vertex -> new vertex`
+/// (`None` for dropped vertices).
+pub fn induced_subgraph(g: &CsrGraph, keep: &[bool]) -> (CsrGraph, Vec<Option<Vertex>>) {
+    assert_eq!(keep.len(), g.num_vertices());
+    let mut map = vec![None; g.num_vertices()];
+    let mut next = 0 as Vertex;
+    for (v, &k) in keep.iter().enumerate() {
+        if k {
+            map[v] = Some(next);
+            next += 1;
+        }
+    }
+    let mut b = GraphBuilder::new(next as usize);
+    for (u, v) in g.edges() {
+        if let (Some(nu), Some(nv)) = (map[u as usize], map[v as usize]) {
+            b.add_edge(nu, nv);
+        }
+    }
+    b.ensure_vertices(next as usize);
+    (b.build(), map)
+}
+
+/// Extracts the largest connected component as its own graph, along with
+/// the old→new vertex mapping.
+pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<Option<Vertex>>) {
+    let labels = crate::stats::reference_labels(g);
+    let mut counts: std::collections::HashMap<Vertex, usize> = std::collections::HashMap::new();
+    for &l in &labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    let Some((&biggest, _)) = counts.iter().max_by_key(|&(_, &c)| c) else {
+        return (GraphBuilder::new(0).build(), Vec::new());
+    };
+    let keep: Vec<bool> = labels.iter().map(|&l| l == biggest).collect();
+    induced_subgraph(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::stats;
+
+    #[test]
+    fn permute_preserves_structure() {
+        let g = generate::gnm_random(200, 500, 1);
+        let perm = random_permutation(200, 7);
+        let p = permute(&g, &perm);
+        assert_eq!(p.num_edges(), g.num_edges());
+        assert_eq!(stats::count_components(&p), stats::count_components(&g));
+        // Degree multiset preserved.
+        let mut d1: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        let mut d2: Vec<usize> = p.vertices().map(|v| p.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let g = generate::grid2d(8, 8);
+        let id: Vec<Vertex> = (0..64).collect();
+        assert_eq!(permute(&g, &id), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_permutation() {
+        let g = generate::path(4);
+        permute(&g, &[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_permutation_is_permutation() {
+        let p = random_permutation(100, 3);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(p, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn bfs_permutation_improves_locality() {
+        // On a randomly-permuted grid, BFS renumbering restores small gaps.
+        let g = permute(&generate::grid2d(20, 20), &random_permutation(400, 5));
+        let perm = bfs_permutation(&g);
+        let p = permute(&g, &perm);
+        let gap = |g: &crate::CsrGraph| -> u64 {
+            g.directed_edges()
+                .map(|(u, v)| (u as i64 - v as i64).unsigned_abs())
+                .sum()
+        };
+        assert!(gap(&p) < gap(&g) / 2, "bfs {} vs original {}", gap(&p), gap(&g));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = generate::complete(6);
+        let keep = vec![true, true, true, false, false, false];
+        let (sub, map) = induced_subgraph(&g, &keep);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(map[0], Some(0));
+        assert_eq!(map[5], None);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let mut b = crate::GraphBuilder::new(0);
+        // Component A: triangle (3 vertices); component B: edge (2).
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let (big, map) = largest_component(&g);
+        assert_eq!(big.num_vertices(), 3);
+        assert_eq!(big.num_edges(), 3);
+        assert!(map[3].is_none() && map[4].is_none());
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph() {
+        let g = crate::GraphBuilder::new(0).build();
+        let (big, _) = largest_component(&g);
+        assert_eq!(big.num_vertices(), 0);
+    }
+}

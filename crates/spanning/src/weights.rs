@@ -1,0 +1,65 @@
+//! Deterministic synthetic edge weights.
+//!
+//! The catalog graphs are unweighted; spanning-forest algorithms need
+//! weights, so each edge gets a pseudo-random 24-bit weight hashed from
+//! its canonical endpoint pair. Deterministic by construction, identical
+//! across algorithms, platforms, and runs.
+
+use ecl_graph::Vertex;
+
+/// Weight of the undirected edge `{u, v}` (order-insensitive).
+///
+/// 24 bits so that packing `(weight << 32) | edge_index` into a `u64`
+/// (Borůvka's atomic min-edge records) can never overflow, and ties are
+/// possible but rare.
+#[inline]
+pub fn edge_weight(u: Vertex, v: Vertex) -> u32 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    let mut x = ((a as u64) << 32) | b as u64;
+    // splitmix64 finalizer.
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    (x & 0x00ff_ffff) as u32
+}
+
+/// All edges of `g` (one direction) with their weights.
+pub fn weighted_edges(g: &ecl_graph::CsrGraph) -> Vec<(Vertex, Vertex, u32)> {
+    g.edges().map(|(u, v)| (u, v, edge_weight(u, v))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_and_deterministic() {
+        assert_eq!(edge_weight(3, 9), edge_weight(9, 3));
+        assert_eq!(edge_weight(3, 9), edge_weight(3, 9));
+    }
+
+    #[test]
+    fn fits_24_bits() {
+        for i in 0..1000u32 {
+            assert!(edge_weight(i, i * 7 + 1) < (1 << 24));
+        }
+    }
+
+    #[test]
+    fn spreads_values() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500u32 {
+            seen.insert(edge_weight(i, i + 1));
+        }
+        assert!(seen.len() > 490, "too many collisions: {}", seen.len());
+    }
+
+    #[test]
+    fn weighted_edges_cover_graph() {
+        let g = ecl_graph::generate::complete(6);
+        let we = weighted_edges(&g);
+        assert_eq!(we.len(), 15);
+        assert!(we.iter().all(|&(u, v, w)| u < v && w == edge_weight(u, v)));
+    }
+}

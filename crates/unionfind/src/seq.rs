@@ -1,0 +1,333 @@
+//! Sequential union-find with pluggable path compression.
+
+/// Path-compression strategy used by [`DisjointSets::find`].
+///
+/// The four strategies mirror the paper's four pointer-jumping variants
+/// (§5.1, Fig. 8), restated for a sequential setting:
+///
+/// * `None` — Jump3: walk to the representative, change nothing.
+/// * `Full` — Jump1 ("multiple pointer jumping"): two passes, every
+///   element on the path ends up pointing directly at the representative.
+/// * `Halving` — Jump4 ("intermediate pointer jumping"): one pass, every
+///   element skips over its successor, halving the path.
+/// * `Splitting` — one pass, every element's parent becomes its
+///   grandparent (each element advances by one, paths shrink a bit less
+///   than halving per traversal but all elements improve).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Compression {
+    /// No compression (Jump3).
+    None,
+    /// Two-pass full compression (Jump1).
+    Full,
+    /// Path halving — the paper's intermediate pointer jumping (Jump4).
+    Halving,
+    /// Path splitting.
+    Splitting,
+}
+
+/// A sequential disjoint-set forest over `0..n`.
+///
+/// Representatives are chosen by **smaller ID wins** (the paper's hooking
+/// rule), which makes the final parent of every vertex independent of
+/// union order: the representative of a set is always its minimum element
+/// once [`DisjointSets::flatten`] has run.
+#[derive(Clone, Debug)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    compression: Compression,
+}
+
+impl DisjointSets {
+    /// `n` singleton sets with path halving (the ECL-CC default).
+    pub fn new(n: usize) -> Self {
+        Self::with_compression(n, Compression::Halving)
+    }
+
+    /// `n` singleton sets with the given compression strategy.
+    pub fn with_compression(n: usize, compression: Compression) -> Self {
+        assert!(n <= u32::MAX as usize);
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            compression,
+        }
+    }
+
+    /// Builds from an explicit parent array (used by the CC codes' custom
+    /// initialization). Every entry must be `< n`.
+    pub fn from_parents(parent: Vec<u32>, compression: Compression) -> Self {
+        let n = parent.len() as u32;
+        assert!(parent.iter().all(|&p| p < n), "parent out of range");
+        DisjointSets { parent, compression }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `v`, applying the configured compression.
+    #[inline]
+    pub fn find(&mut self, v: u32) -> u32 {
+        match self.compression {
+            Compression::None => self.find_no_compress(v),
+            Compression::Full => self.find_full(v),
+            Compression::Halving => self.find_halving(v),
+            Compression::Splitting => self.find_splitting(v),
+        }
+    }
+
+    fn find_no_compress(&self, v: u32) -> u32 {
+        let mut cur = v;
+        loop {
+            let p = self.parent[cur as usize];
+            if p == cur {
+                return cur;
+            }
+            cur = p;
+        }
+    }
+
+    fn find_full(&mut self, v: u32) -> u32 {
+        let root = self.find_no_compress(v);
+        let mut cur = v;
+        while cur != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// The paper's Fig. 5 loop, sequential form: every visited element is
+    /// made to skip its successor; one traversal.
+    fn find_halving(&mut self, v: u32) -> u32 {
+        let mut par = self.parent[v as usize];
+        if par != v {
+            let mut prev = v;
+            loop {
+                let next = self.parent[par as usize];
+                if par <= next {
+                    // `par > next` orders the walk downhill toward smaller
+                    // IDs; equality means we reached the representative.
+                    break;
+                }
+                self.parent[prev as usize] = next;
+                prev = par;
+                par = next;
+            }
+        }
+        par
+    }
+
+    fn find_splitting(&mut self, v: u32) -> u32 {
+        let mut cur = v;
+        loop {
+            let p = self.parent[cur as usize];
+            let gp = self.parent[p as usize];
+            if p == gp {
+                return p;
+            }
+            self.parent[cur as usize] = gp;
+            cur = p;
+        }
+    }
+
+    /// Unions the sets of `u` and `v`; the smaller representative becomes
+    /// the parent of the larger. Returns `true` if the sets were distinct.
+    pub fn union(&mut self, u: u32, v: u32) -> bool {
+        let ru = self.find(u);
+        let rv = self.find(v);
+        if ru == rv {
+            return false;
+        }
+        let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+        self.parent[hi as usize] = lo;
+        true
+    }
+
+    /// True if `u` and `v` are in the same set.
+    pub fn same_set(&mut self, u: u32, v: u32) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Number of sets (elements that are their own parent).
+    pub fn count_sets(&self) -> usize {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| p == i as u32)
+            .count()
+    }
+
+    /// Makes every element point directly at its representative (the CC
+    /// codes' finalization phase) and returns the parent array.
+    pub fn flatten(&mut self) -> &[u32] {
+        for v in 0..self.parent.len() as u32 {
+            let r = self.find_no_compress(v);
+            self.parent[v as usize] = r;
+        }
+        &self.parent
+    }
+
+    /// Read-only view of the parent array.
+    pub fn parents(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// Length of the parent path from `v` to its representative
+    /// (0 if `v` is a representative). Used by the Table 4 statistics.
+    pub fn path_length(&self, v: u32) -> usize {
+        let mut cur = v;
+        let mut len = 0;
+        loop {
+            let p = self.parent[cur as usize];
+            if p == cur {
+                return len;
+            }
+            len += 1;
+            cur = p;
+            debug_assert!(len <= self.parent.len(), "cycle in parent array");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_strategies() -> [Compression; 4] {
+        [
+            Compression::None,
+            Compression::Full,
+            Compression::Halving,
+            Compression::Splitting,
+        ]
+    }
+
+    #[test]
+    fn singletons_initially() {
+        let ds = DisjointSets::new(5);
+        assert_eq!(ds.count_sets(), 5);
+        assert_eq!(ds.len(), 5);
+    }
+
+    #[test]
+    fn union_find_basics_all_strategies() {
+        for c in all_strategies() {
+            let mut ds = DisjointSets::with_compression(10, c);
+            assert!(ds.union(1, 2));
+            assert!(ds.union(3, 4));
+            assert!(!ds.union(2, 1), "already joined ({c:?})");
+            assert!(ds.same_set(1, 2));
+            assert!(!ds.same_set(1, 3));
+            ds.union(2, 3);
+            assert!(ds.same_set(1, 4));
+            assert_eq!(ds.count_sets(), 7, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn representative_is_minimum_after_flatten() {
+        for c in all_strategies() {
+            let mut ds = DisjointSets::with_compression(8, c);
+            ds.union(7, 5);
+            ds.union(5, 3);
+            ds.union(3, 6);
+            ds.flatten();
+            for v in [3, 5, 6, 7] {
+                assert_eq!(ds.parents()[v], 3, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_partition() {
+        // Pseudo-random union sequence; all strategies must induce the
+        // same sets.
+        let pairs: Vec<(u32, u32)> = (0..200u32).map(|i| ((i * 7) % 50, (i * 13 + 1) % 50)).collect();
+        let mut results = Vec::new();
+        for c in all_strategies() {
+            let mut ds = DisjointSets::with_compression(50, c);
+            for &(a, b) in &pairs {
+                ds.union(a, b);
+            }
+            ds.flatten();
+            results.push(ds.parents().to_vec());
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn halving_shortens_paths() {
+        // Build a long chain 9 -> 8 -> ... -> 0 manually.
+        let parent: Vec<u32> = (0..10u32).map(|v| v.saturating_sub(1)).collect();
+        let mut ds = DisjointSets::from_parents(parent, Compression::Halving);
+        assert_eq!(ds.path_length(9), 9);
+        assert_eq!(ds.find(9), 0);
+        assert!(ds.path_length(9) <= 5, "halving should roughly halve");
+        // Iterating find drives the path to length 1.
+        ds.find(9);
+        ds.find(9);
+        ds.find(9);
+        assert!(ds.path_length(9) <= 1);
+    }
+
+    #[test]
+    fn full_compression_flattens_in_one_find() {
+        let parent: Vec<u32> = (0..10u32).map(|v| v.saturating_sub(1)).collect();
+        let mut ds = DisjointSets::from_parents(parent, Compression::Full);
+        ds.find(9);
+        for v in 0..10 {
+            assert!(ds.path_length(v) <= 1);
+        }
+    }
+
+    #[test]
+    fn no_compression_leaves_paths() {
+        let parent: Vec<u32> = (0..10u32).map(|v| v.saturating_sub(1)).collect();
+        let mut ds = DisjointSets::from_parents(parent, Compression::None);
+        assert_eq!(ds.find(9), 0);
+        assert_eq!(ds.path_length(9), 9);
+    }
+
+    #[test]
+    fn splitting_advances_all_elements() {
+        let parent: Vec<u32> = (0..10u32).map(|v| v.saturating_sub(1)).collect();
+        let mut ds = DisjointSets::from_parents(parent, Compression::Splitting);
+        assert_eq!(ds.find(9), 0);
+        // Every element on the path should now skip one ancestor.
+        assert!(ds.path_length(9) <= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parents_validates() {
+        DisjointSets::from_parents(vec![0, 9], Compression::None);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let ds = DisjointSets::new(0);
+        assert!(ds.is_empty());
+        assert_eq!(ds.count_sets(), 0);
+    }
+
+    #[test]
+    fn flatten_idempotent() {
+        let mut ds = DisjointSets::new(20);
+        for i in 0..19 {
+            ds.union(i, i + 1);
+        }
+        let a = ds.flatten().to_vec();
+        let b = ds.flatten().to_vec();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&p| p == 0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Model-based property tests: every union-find variant is checked
+//! against a trivially-correct partition model over random operation
+//! sequences.
+
+use ecl_unionfind::{AtomicParents, Compression, DisjointSets};
+use proptest::prelude::*;
+
+/// The reference model: partition kept as a label vector where merging
+/// rewrites all labels (O(n) per union, obviously correct).
+#[derive(Clone)]
+struct Model {
+    label: Vec<u32>,
+}
+
+impl Model {
+    fn new(n: usize) -> Self {
+        Model {
+            label: (0..n as u32).collect(),
+        }
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (la, lb) = (self.label[a as usize], self.label[b as usize]);
+        if la != lb {
+            let keep = la.min(lb);
+            let kill = la.max(lb);
+            for l in &mut self.label {
+                if *l == kill {
+                    *l = keep;
+                }
+            }
+        }
+    }
+
+    fn same(&self, a: u32, b: u32) -> bool {
+        self.label[a as usize] == self.label[b as usize]
+    }
+
+    fn count(&self) -> usize {
+        let mut ls: Vec<u32> = self.label.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        ls.len()
+    }
+}
+
+fn ops() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..48).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..120),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequential_matches_model((n, pairs) in ops()) {
+        for comp in [Compression::None, Compression::Full, Compression::Halving, Compression::Splitting] {
+            let mut ds = DisjointSets::with_compression(n, comp);
+            let mut model = Model::new(n);
+            for &(a, b) in &pairs {
+                ds.union(a, b);
+                model.union(a, b);
+                // Spot-check connectivity after every operation.
+                prop_assert_eq!(ds.same_set(a, b), model.same(a, b));
+            }
+            prop_assert_eq!(ds.count_sets(), model.count(), "{:?}", comp);
+            // After flatten, labels equal component minima.
+            ds.flatten();
+            for v in 0..n as u32 {
+                let min = (0..n as u32).filter(|&u| model.same(u, v)).min().unwrap();
+                prop_assert_eq!(ds.parents()[v as usize], min);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_matches_model((n, pairs) in ops()) {
+        let par = AtomicParents::new(n);
+        let mut model = Model::new(n);
+        // Apply unions from 4 threads (chunked round-robin), model serially
+        // — the final partition must agree regardless of interleaving.
+        let pairs_ref = &pairs;
+        let par_ref = &par;
+        ecl_parallel::parallel_for(
+            4,
+            pairs.len(),
+            ecl_parallel::Schedule::Dynamic { chunk: 2 },
+            move |i| {
+                let (a, b) = pairs_ref[i];
+                par_ref.unite(a, b);
+            },
+        );
+        for &(a, b) in &pairs {
+            model.union(a, b);
+        }
+        prop_assert_eq!(par.count_sets(), model.count());
+        for v in 0..n as u32 {
+            let min = (0..n as u32).filter(|&u| model.same(u, v)).min().unwrap();
+            prop_assert_eq!(par.find_repres(v), min);
+        }
+    }
+
+    #[test]
+    fn hook_linked_counts_merges_exactly((n, pairs) in ops()) {
+        let par = AtomicParents::new(n);
+        let mut links = 0usize;
+        for &(a, b) in &pairs {
+            let ra = par.find_repres(a);
+            let rb = par.find_repres(b);
+            if par.hook_linked(ra, rb).1 {
+                links += 1;
+            }
+        }
+        // Each link reduces the set count by exactly one.
+        prop_assert_eq!(par.count_sets(), n - links);
+    }
+
+    #[test]
+    fn parent_ids_never_increase((n, pairs) in ops()) {
+        // The decreasing-parent invariant underpinning all the lock-free
+        // correctness arguments.
+        let par = AtomicParents::new(n);
+        for &(a, b) in &pairs {
+            par.unite(a, b);
+            for v in 0..n as u32 {
+                prop_assert!(par.parent(v) <= v, "parent[{}] = {} increased", v, par.parent(v));
+            }
+        }
+    }
+}

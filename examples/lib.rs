@@ -1,0 +1,17 @@
+//! Shared helpers for the example binaries (argument parsing kept tiny and
+//! dependency-free).
+
+/// Returns the value following `--flag` in the args, parsed, or `default`.
+pub fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// True if `--flag` is present.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}

@@ -1,0 +1,55 @@
+//! Determinism guarantees across the workspace: generators, the GPU
+//! simulator, and the min-wins union-find family must all be exactly
+//! reproducible, because the benchmark harness depends on it.
+
+use ecl_cc::EclConfig;
+use ecl_gpu_sim::{DeviceProfile, Gpu};
+use ecl_graph::catalog::{PaperGraph, Scale};
+
+#[test]
+fn catalog_graphs_are_bit_identical_across_calls() {
+    for pg in PaperGraph::ALL {
+        let a = pg.generate(Scale::Tiny);
+        let b = pg.generate(Scale::Tiny);
+        assert_eq!(a, b, "{pg:?}");
+    }
+}
+
+#[test]
+fn gpu_simulation_cycles_are_reproducible() {
+    let g = PaperGraph::Rmat16.generate(Scale::Tiny);
+    let runs: Vec<u64> = (0..3)
+        .map(|_| {
+            let mut gpu = Gpu::new(DeviceProfile::titan_x());
+            let (_, s) = ecl_cc::gpu::run(&mut gpu, &g, &EclConfig::default());
+            s.total_cycles()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+}
+
+#[test]
+fn gpu_baselines_are_reproducible() {
+    let g = PaperGraph::Grid2d.generate(Scale::Tiny);
+    for _ in 0..2 {
+        let mut a = Gpu::new(DeviceProfile::k40());
+        let mut b = Gpu::new(DeviceProfile::k40());
+        let ra = ecl_baselines::gpu::gunrock::run(&mut a, &g);
+        let rb = ecl_baselines::gpu::gunrock::run(&mut b, &g);
+        assert_eq!(ra.result.labels, rb.result.labels);
+        assert_eq!(ra.total_cycles(), rb.total_cycles());
+    }
+}
+
+#[test]
+fn parallel_labels_deterministic_despite_races() {
+    // The benign races reorder intermediate states but the min-wins final
+    // labeling is unique.
+    let g = PaperGraph::Kron21.generate(Scale::Tiny);
+    let first = ecl_cc::connected_components_par(&g, 8);
+    for _ in 0..4 {
+        assert_eq!(ecl_cc::connected_components_par(&g, 8).labels, first.labels);
+    }
+    assert_eq!(ecl_cc::connected_components(&g).labels, first.labels);
+}

@@ -1,0 +1,113 @@
+//! Property-based tests over random graphs: algorithm agreement, CSR
+//! builder invariants, and union-find invariants under random workloads.
+
+use ecl_integration::all_algorithms;
+use proptest::prelude::*;
+
+/// Random edge list over up to 64 vertices (dense enough to form
+/// interesting component structures, small enough to run every algorithm).
+fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..64).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..200))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_algorithms_agree_on_random_graphs((n, edges) in edges_strategy()) {
+        let g = ecl_graph::builder::from_edges(n, &edges);
+        let reference = ecl_graph::stats::canonicalize_labels(
+            &ecl_graph::stats::reference_labels(&g),
+        );
+        for (name, run) in all_algorithms() {
+            if let Some(result) = run(&g) {
+                let canon = ecl_graph::stats::canonicalize_labels(&result.labels);
+                prop_assert_eq!(&canon, &reference, "algorithm {}", name);
+            }
+        }
+    }
+
+    #[test]
+    fn builder_produces_valid_csr((n, edges) in edges_strategy()) {
+        let g = ecl_graph::builder::from_edges(n, &edges);
+        // Re-validating through the checked constructor must succeed.
+        let revalidated = ecl_graph::CsrGraph::from_parts(
+            g.offsets().to_vec(),
+            g.adjacency().to_vec(),
+        );
+        prop_assert!(revalidated.is_ok(), "{:?}", revalidated.err());
+        // Edge count conservation: distinct non-loop undirected inputs.
+        let mut distinct: Vec<(u32, u32)> = edges
+            .iter()
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(g.num_edges(), distinct.len());
+    }
+
+    #[test]
+    fn union_find_partition_matches_graph_components((n, edges) in edges_strategy()) {
+        let g = ecl_graph::builder::from_edges(n, &edges);
+        let mut ds = ecl_unionfind::DisjointSets::new(g.num_vertices());
+        for (u, v) in g.edges() {
+            ds.union(u, v);
+        }
+        prop_assert_eq!(ds.count_sets(), ecl_graph::stats::count_components(&g));
+        // flatten: every parent is a root, and equals the component min.
+        ds.flatten();
+        let reference = ecl_graph::stats::reference_labels(&g);
+        prop_assert_eq!(ds.parents(), &reference[..]);
+    }
+
+    #[test]
+    fn concurrent_union_find_agrees_with_sequential((n, edges) in edges_strategy()) {
+        let g = ecl_graph::builder::from_edges(n, &edges);
+        let par = ecl_unionfind::AtomicParents::new(g.num_vertices());
+        {
+            let par = &par;
+            let edge_vec: Vec<_> = g.edges().collect();
+            ecl_parallel::parallel_for(
+                4,
+                edge_vec.len(),
+                ecl_parallel::Schedule::Dynamic { chunk: 3 },
+                move |i| {
+                    let (u, v) = edge_vec[i];
+                    par.unite(u, v);
+                },
+            );
+        }
+        prop_assert_eq!(par.count_sets(), ecl_graph::stats::count_components(&g));
+        // Representatives must be component minima (min-wins hooking).
+        let reference = ecl_graph::stats::reference_labels(&g);
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert_eq!(par.find_repres(v), reference[v as usize]);
+        }
+    }
+
+    #[test]
+    fn path_lengths_never_grow_under_find(seq in proptest::collection::vec((0u32..40, 0u32..40), 1..80)) {
+        let mut ds = ecl_unionfind::DisjointSets::new(40);
+        for &(a, b) in &seq {
+            ds.union(a, b);
+        }
+        for v in 0..40u32 {
+            let before = ds.path_length(v);
+            ds.find(v);
+            let after = ds.path_length(v);
+            prop_assert!(after <= before, "find lengthened path of {}: {} -> {}", v, before, after);
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent(labels in proptest::collection::vec(0u32..20, 0..60)) {
+        let labels: Vec<u32> = labels.iter().map(|&l| l % (labels.len().max(1) as u32)).collect();
+        let once = ecl_graph::stats::canonicalize_labels(&labels);
+        let twice = ecl_graph::stats::canonicalize_labels(&once);
+        prop_assert_eq!(once, twice);
+    }
+}
