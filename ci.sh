@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI for the ECL-CC workspace: build, test, lint, format.
+# The workspace has no external dependencies, so every step runs with
+# --offline and must succeed without registry access.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test -q --offline
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI OK"

@@ -122,6 +122,8 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        assert!(run(&ecl_graph::GraphBuilder::new(0).build(), 2).labels.is_empty());
+        assert!(run(&ecl_graph::GraphBuilder::new(0).build(), 2)
+            .labels
+            .is_empty());
     }
 }

@@ -54,8 +54,9 @@ pub fn run(g: &CsrGraph, threads: usize) -> CcResult {
 pub fn run_direction_optimizing(g: &CsrGraph, threads: usize) -> CcResult {
     let n = g.num_vertices();
     let labels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
-    let in_frontier: Vec<std::sync::atomic::AtomicBool> =
-        (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+    let in_frontier: Vec<std::sync::atomic::AtomicBool> = (0..n)
+        .map(|_| std::sync::atomic::AtomicBool::new(false))
+        .collect();
     let threshold = (g.num_directed_edges() / 20).max(64);
 
     for s in 0..n as Vertex {
@@ -154,15 +155,9 @@ mod tests {
         // Star: the hub's frontier has n-1 outgoing edges → triggers the
         // pull path immediately.
         let g = ecl_graph::generate::star(4000);
-        assert_eq!(
-            run_direction_optimizing(&g, 4).labels,
-            run(&g, 4).labels
-        );
+        assert_eq!(run_direction_optimizing(&g, 4).labels, run(&g, 4).labels);
         // Dense social-style graph: several pull levels.
         let g = ecl_graph::generate::preferential_attachment(2000, 8, 5);
-        assert_eq!(
-            run_direction_optimizing(&g, 4).labels,
-            run(&g, 4).labels
-        );
+        assert_eq!(run_direction_optimizing(&g, 4).labels, run(&g, 4).labels);
     }
 }

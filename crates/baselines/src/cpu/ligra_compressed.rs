@@ -112,13 +112,20 @@ mod tests {
         let g = ecl_graph::generate::rmat(9, 6, ecl_graph::generate::RmatParams::GALOIS, 8);
         let c = CompressedGraph::from_csr(&g);
         assert_eq!(bfscc(&c, 4).labels, crate::cpu::bfscc::run(&g, 4).labels);
-        assert_eq!(label_prop(&c, 4).labels, crate::cpu::label_prop::run(&g, 4).labels);
+        assert_eq!(
+            label_prop(&c, 4).labels,
+            crate::cpu::label_prop::run(&g, 4).labels
+        );
     }
 
     #[test]
     fn compression_saves_memory_on_catalog_graph() {
         let g = ecl_graph::catalog::PaperGraph::EuropeOsm.generate(ecl_graph::catalog::Scale::Tiny);
         let c = CompressedGraph::from_csr(&g);
-        assert!(c.compression_ratio() > 1.5, "ratio {:.2}", c.compression_ratio());
+        assert!(
+            c.compression_ratio() > 1.5,
+            "ratio {:.2}",
+            c.compression_ratio()
+        );
     }
 }

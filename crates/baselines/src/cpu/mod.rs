@@ -14,7 +14,7 @@ pub mod ndhybrid;
 use ecl_graph::Vertex;
 use ecl_parallel::counters::WorkCounter;
 use ecl_parallel::parallel_for_teams;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Expands one frontier in parallel: `visit(v, push)` is called for every
 /// `v` in `frontier`; everything pushed becomes the next frontier.
@@ -48,11 +48,11 @@ where
                 visit(v, &mut local);
             }
         }
-        *results[tid].lock() = local;
+        *results[tid].lock().unwrap() = local;
     });
     let mut next = Vec::new();
     for r in results {
-        next.append(&mut r.into_inner());
+        next.append(&mut r.into_inner().unwrap());
     }
     next
 }
@@ -69,7 +69,10 @@ pub(crate) mod test_support {
             ("cliques", generate::disjoint_cliques(8, 7)),
             ("grid", generate::grid2d(20, 20)),
             ("random", generate::gnm_random(600, 1500, 1)),
-            ("rmat", generate::rmat(9, 6, generate::RmatParams::GALOIS, 2)),
+            (
+                "rmat",
+                generate::rmat(9, 6, generate::RmatParams::GALOIS, 2),
+            ),
             ("road", generate::road_network(20, 20, 0.2, 1.0, 3)),
             ("singletons", ecl_graph::GraphBuilder::new(40).build()),
         ]

@@ -251,7 +251,9 @@ mod tests {
         for (name, g) in test_graphs() {
             let mut gpu = Gpu::new(DeviceProfile::test_tiny());
             let run = run(&mut gpu, &g);
-            run.result.verify(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+            run.result
+                .verify(&g)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 

@@ -64,7 +64,10 @@ pub(crate) mod test_support {
             ("cliques", generate::disjoint_cliques(6, 9)),
             ("grid", generate::grid2d(15, 15)),
             ("random", generate::gnm_random(400, 1000, 1)),
-            ("rmat", generate::rmat(9, 6, generate::RmatParams::GALOIS, 2)),
+            (
+                "rmat",
+                generate::rmat(9, 6, generate::RmatParams::GALOIS, 2),
+            ),
             ("singletons", ecl_graph::GraphBuilder::new(50).build()),
         ]
     }

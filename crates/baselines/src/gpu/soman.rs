@@ -134,7 +134,9 @@ mod tests {
         for (name, g) in test_graphs() {
             let mut gpu = Gpu::new(DeviceProfile::test_tiny());
             let run = run(&mut gpu, &g);
-            run.result.verify(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+            run.result
+                .verify(&g)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 
@@ -156,7 +158,11 @@ mod tests {
         let g = ecl_graph::generate::path(512);
         let mut gpu = Gpu::new(DeviceProfile::test_tiny());
         let soman = run(&mut gpu, &g);
-        let hooks = soman.kernels.iter().filter(|k| k.name == "soman_hook").count();
+        let hooks = soman
+            .kernels
+            .iter()
+            .filter(|k| k.name == "soman_hook")
+            .count();
         assert!(hooks >= 2, "expected ≥ 2 hooking rounds, got {hooks}");
         let mut gpu2 = Gpu::new(DeviceProfile::test_tiny());
         let (ecl, s) = ecl_cc::gpu::run(&mut gpu2, &g, &ecl_cc::EclConfig::default());

@@ -1,4 +1,4 @@
-//! Criterion benches for the paper's §5.1 internal ablations:
+//! Benches for the paper's §5.1 internal ablations:
 //! Fig. 7 (Init1/2/3), Fig. 8 (Jump1/2/3/4), Fig. 9 (Fini1/2/3) — plus
 //! the two ablations DESIGN.md adds beyond the paper: the degree-bucket
 //! thresholds of the three compute kernels and the OpenMP-port loop
@@ -6,43 +6,34 @@
 //!
 //! The measured quantity is host time to *simulate* the GPU run; since
 //! the simulated cycle count is deterministic and dominates host time,
-//! relative Criterion numbers track the relative simulated runtimes.
+//! relative numbers track the relative simulated runtimes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_bench::microbench::Group;
 use ecl_bench::quick_graphs;
 use ecl_cc::{EclConfig, FiniKind, InitKind, JumpKind};
 use ecl_gpu_sim::{DeviceProfile, Gpu};
 use ecl_graph::catalog::Scale;
 use std::hint::black_box;
 
-fn bench_init_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_init");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn bench_init_variants() {
+    let group = Group::new("fig7_init");
     for (name, g) in quick_graphs(Scale::Tiny) {
         for (vname, init) in [
             ("init1", InitKind::VertexId),
             ("init2", InitKind::MinNeighbor),
             ("init3", InitKind::FirstSmaller),
         ] {
-            group.bench_with_input(BenchmarkId::new(vname, name), &g, |b, g| {
-                let cfg = EclConfig::with_init(init);
-                b.iter(|| {
-                    let mut gpu = Gpu::new(DeviceProfile::titan_x());
-                    black_box(ecl_cc::gpu::run(&mut gpu, g, &cfg).1.total_cycles())
-                });
+            let cfg = EclConfig::with_init(init);
+            group.bench(&format!("{vname}/{name}"), || {
+                let mut gpu = Gpu::new(DeviceProfile::titan_x());
+                black_box(ecl_cc::gpu::run(&mut gpu, &g, &cfg).1.total_cycles());
             });
         }
     }
-    group.finish();
 }
 
-fn bench_jump_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_jump");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn bench_jump_variants() {
+    let group = Group::new("fig8_jump");
     for (name, g) in quick_graphs(Scale::Tiny) {
         for (vname, jump) in [
             ("jump1", JumpKind::Multiple),
@@ -50,74 +41,56 @@ fn bench_jump_variants(c: &mut Criterion) {
             ("jump3", JumpKind::None),
             ("jump4", JumpKind::Intermediate),
         ] {
-            group.bench_with_input(BenchmarkId::new(vname, name), &g, |b, g| {
-                let cfg = EclConfig::with_jump(jump);
-                b.iter(|| {
-                    let mut gpu = Gpu::new(DeviceProfile::titan_x());
-                    black_box(ecl_cc::gpu::run(&mut gpu, g, &cfg).1.total_cycles())
-                });
+            let cfg = EclConfig::with_jump(jump);
+            group.bench(&format!("{vname}/{name}"), || {
+                let mut gpu = Gpu::new(DeviceProfile::titan_x());
+                black_box(ecl_cc::gpu::run(&mut gpu, &g, &cfg).1.total_cycles());
             });
         }
     }
-    group.finish();
 }
 
-fn bench_fini_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_fini");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn bench_fini_variants() {
+    let group = Group::new("fig9_fini");
     for (name, g) in quick_graphs(Scale::Tiny) {
         for (vname, fini) in [
             ("fini1", FiniKind::Intermediate),
             ("fini2", FiniKind::Multiple),
             ("fini3", FiniKind::Single),
         ] {
-            group.bench_with_input(BenchmarkId::new(vname, name), &g, |b, g| {
-                let cfg = EclConfig::with_fini(fini);
-                b.iter(|| {
-                    let mut gpu = Gpu::new(DeviceProfile::titan_x());
-                    black_box(ecl_cc::gpu::run(&mut gpu, g, &cfg).1.total_cycles())
-                });
+            let cfg = EclConfig::with_fini(fini);
+            group.bench(&format!("{vname}/{name}"), || {
+                let mut gpu = Gpu::new(DeviceProfile::titan_x());
+                black_box(ecl_cc::gpu::run(&mut gpu, &g, &cfg).1.total_cycles());
             });
         }
     }
-    group.finish();
 }
 
 /// Beyond the paper: sweep the degree thresholds that route vertices into
 /// the warp- and block-granularity kernels (the paper fixes 16/352 and
 /// notes "varying them by quite a bit does not significantly affect the
 /// performance" — this bench regenerates that claim).
-fn bench_threshold_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_thresholds");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn bench_threshold_sweep() {
+    let group = Group::new("ablation_thresholds");
     let g = ecl_graph::catalog::PaperGraph::Kron21.generate(Scale::Tiny);
     for (wt, bt) in [(4, 64), (16, 352), (64, 1024)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{wt}_{bt}")), &g, |b, g| {
-            let cfg = EclConfig {
-                warp_threshold: wt,
-                block_threshold: bt,
-                ..Default::default()
-            };
-            b.iter(|| {
-                let mut gpu = Gpu::new(DeviceProfile::titan_x());
-                black_box(ecl_cc::gpu::run(&mut gpu, g, &cfg).1.total_cycles())
-            });
+        let cfg = EclConfig {
+            warp_threshold: wt,
+            block_threshold: bt,
+            ..Default::default()
+        };
+        group.bench(&format!("{wt}_{bt}"), || {
+            let mut gpu = Gpu::new(DeviceProfile::titan_x());
+            black_box(ecl_cc::gpu::run(&mut gpu, &g, &cfg).1.total_cycles());
         });
     }
-    group.finish();
 }
 
 /// Beyond the paper: the OpenMP port's loop schedule (the paper uses
 /// guided; static loses on skewed degree distributions).
-fn bench_schedule_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_schedules");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn bench_schedule_sweep() {
+    let group = Group::new("ablation_schedules");
     let g = ecl_graph::catalog::PaperGraph::Kron21.generate(Scale::Tiny);
     let threads = 4;
     for (name, schedule) in [
@@ -125,26 +98,21 @@ fn bench_schedule_sweep(c: &mut Criterion) {
         ("dynamic64", ecl_parallel::Schedule::Dynamic { chunk: 64 }),
         ("guided", ecl_parallel::Schedule::GUIDED),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
-            b.iter(|| {
-                black_box(ecl_cc::parallel::run_with_schedule(
-                    g,
-                    threads,
-                    schedule,
-                    &EclConfig::default(),
-                ))
-            });
+        group.bench(name, || {
+            black_box(ecl_cc::parallel::run_with_schedule(
+                &g,
+                threads,
+                schedule,
+                &EclConfig::default(),
+            ));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_init_variants,
-    bench_jump_variants,
-    bench_fini_variants,
-    bench_threshold_sweep,
-    bench_schedule_sweep
-);
-criterion_main!(benches);
+fn main() {
+    bench_init_variants();
+    bench_jump_variants();
+    bench_fini_variants();
+    bench_threshold_sweep();
+    bench_schedule_sweep();
+}

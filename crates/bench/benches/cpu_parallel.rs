@@ -1,41 +1,31 @@
-//! Criterion benches for Tables 7/8 (Figs. 13/14): the seven parallel CPU
+//! Benches for Tables 7/8 (Figs. 13/14): the seven parallel CPU
 //! codes, at the two thread counts standing in for the paper's two hosts
 //! (dual 10-core E5-2687W with HT → "40"; dual 6-core X5690 → "12";
 //! clamped to what this machine offers).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_bench::microbench::Group;
 use ecl_bench::quick_graphs;
 use ecl_bench::runners::CPU_PAR_CODES;
 use ecl_graph::catalog::Scale;
 use std::hint::black_box;
 
-fn bench_at(c: &mut Criterion, threads: usize, group_name: &str) {
-    let mut group = c.benchmark_group(group_name);
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn bench_at(threads: usize, group_name: &str) {
+    let group = Group::new(group_name);
     for (gname, g) in quick_graphs(Scale::Tiny) {
         for (cname, runner) in CPU_PAR_CODES {
             if runner(&g, threads).is_none() {
                 continue; // CRONO n/a
             }
-            group.bench_with_input(BenchmarkId::new(cname, gname), &g, |b, g| {
-                b.iter(|| black_box(runner(g, threads)));
+            group.bench(&format!("{cname}/{gname}"), || {
+                black_box(runner(&g, threads));
             });
         }
     }
-    group.finish();
 }
 
-fn table7(c: &mut Criterion) {
-    let t = ecl_parallel::default_threads().max(8);
-    bench_at(c, t, "table7_e5_2687w");
+fn main() {
+    let t_big = ecl_parallel::default_threads().max(8);
+    let t_small = (t_big / 3).max(2);
+    bench_at(t_big, "table7_e5_2687w");
+    bench_at(t_small, "table8_x5690");
 }
-
-fn table8(c: &mut Criterion) {
-    let t = (ecl_parallel::default_threads().max(8) / 3).max(2);
-    bench_at(c, t, "table8_x5690");
-}
-
-criterion_group!(benches, table7, table8);
-criterion_main!(benches);

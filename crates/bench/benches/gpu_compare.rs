@@ -1,39 +1,27 @@
-//! Criterion benches for Tables 5/6 (Figs. 11/12): the five GPU codes on
+//! Benches for Tables 5/6 (Figs. 11/12): the five GPU codes on
 //! both device profiles. Host time to simulate tracks simulated cycles,
-//! so the Criterion ratios reproduce the paper's relative runtimes.
+//! so the ratios reproduce the paper's relative runtimes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_bench::microbench::Group;
 use ecl_bench::quick_graphs;
 use ecl_bench::runners::GPU_CODES;
 use ecl_gpu_sim::{DeviceProfile, Gpu};
 use ecl_graph::catalog::Scale;
 use std::hint::black_box;
 
-fn bench_gpu_codes(c: &mut Criterion, profile: DeviceProfile, group_name: &str) {
-    let mut group = c.benchmark_group(group_name);
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn bench_gpu_codes(profile: DeviceProfile, group_name: &str) {
+    let group = Group::new(group_name);
     for (gname, g) in quick_graphs(Scale::Tiny) {
         for (cname, runner) in GPU_CODES {
-            group.bench_with_input(BenchmarkId::new(cname, gname), &g, |b, g| {
-                b.iter(|| {
-                    let mut gpu = Gpu::new(profile.clone());
-                    black_box(runner(&mut gpu, g).1)
-                });
+            group.bench(&format!("{cname}/{gname}"), || {
+                let mut gpu = Gpu::new(profile.clone());
+                black_box(runner(&mut gpu, &g).1);
             });
         }
     }
-    group.finish();
 }
 
-fn titan(c: &mut Criterion) {
-    bench_gpu_codes(c, DeviceProfile::titan_x(), "table5_titan_x");
+fn main() {
+    bench_gpu_codes(DeviceProfile::titan_x(), "table5_titan_x");
+    bench_gpu_codes(DeviceProfile::k40(), "table6_k40");
 }
-
-fn k40(c: &mut Criterion) {
-    bench_gpu_codes(c, DeviceProfile::k40(), "table6_k40");
-}
-
-criterion_group!(benches, titan, k40);
-criterion_main!(benches);

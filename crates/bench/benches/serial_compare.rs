@@ -1,27 +1,20 @@
-//! Criterion benches for Tables 9/10 (Figs. 15/16): the five serial CPU
+//! Benches for Tables 9/10 (Figs. 15/16): the five serial CPU
 //! codes. One host stands in for both of the paper's machines (the
 //! comparison is between the *codes*, which is host-independent).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_bench::microbench::Group;
 use ecl_bench::quick_graphs;
 use ecl_bench::runners::SERIAL_CODES;
 use ecl_graph::catalog::Scale;
 use std::hint::black_box;
 
-fn bench_serial(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table9_serial");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn main() {
+    let group = Group::new("table9_serial");
     for (gname, g) in quick_graphs(Scale::Tiny) {
         for (cname, runner) in SERIAL_CODES {
-            group.bench_with_input(BenchmarkId::new(cname, gname), &g, |b, g| {
-                b.iter(|| black_box(runner(g)));
+            group.bench(&format!("{cname}/{gname}"), || {
+                black_box(runner(&g));
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_serial);
-criterion_main!(benches);

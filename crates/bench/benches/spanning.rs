@@ -6,18 +6,15 @@
 //! * Kruskal with each sequential compression strategy,
 //! * GPU Borůvka with each pointer-jumping variant inside its finds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_bench::microbench::Group;
 use ecl_gpu_sim::{DeviceProfile, Gpu};
 use ecl_graph::catalog::{PaperGraph, Scale};
 use ecl_unionfind::concurrent::JumpKind;
 use ecl_unionfind::Compression;
 use std::hint::black_box;
 
-fn bench_kruskal_compression(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kruskal_compression");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn bench_kruskal_compression() {
+    let group = Group::new("kruskal_compression");
     for pg in [PaperGraph::EuropeOsm, PaperGraph::Rmat16] {
         let g = pg.generate(Scale::Tiny);
         let name = pg.info().name;
@@ -27,19 +24,15 @@ fn bench_kruskal_compression(c: &mut Criterion) {
             ("halving", Compression::Halving),
             ("splitting", Compression::Splitting),
         ] {
-            group.bench_with_input(BenchmarkId::new(vname, name), &g, |b, g| {
-                b.iter(|| black_box(ecl_spanning::kruskal::run(g, comp)));
+            group.bench(&format!("{vname}/{name}"), || {
+                black_box(ecl_spanning::kruskal::run(&g, comp));
             });
         }
     }
-    group.finish();
 }
 
-fn bench_gpu_boruvka_jumps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gpu_boruvka_jump");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn bench_gpu_boruvka_jumps() {
+    let group = Group::new("gpu_boruvka_jump");
     let g = PaperGraph::EuropeOsm.generate(Scale::Tiny);
     for (vname, jump) in [
         ("jump1_multiple", JumpKind::Multiple),
@@ -47,35 +40,26 @@ fn bench_gpu_boruvka_jumps(c: &mut Criterion) {
         ("jump3_none", JumpKind::None),
         ("jump4_intermediate", JumpKind::Intermediate),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(vname), &g, |b, g| {
-            b.iter(|| {
-                let mut gpu = Gpu::new(DeviceProfile::titan_x());
-                black_box(ecl_spanning::gpu_boruvka::run(&mut gpu, g, jump))
-            });
+        group.bench(vname, || {
+            let mut gpu = Gpu::new(DeviceProfile::titan_x());
+            black_box(ecl_spanning::gpu_boruvka::run(&mut gpu, &g, jump));
         });
     }
-    group.finish();
 }
 
-fn bench_boruvka_vs_kruskal(c: &mut Criterion) {
-    let mut group = c.benchmark_group("msf_algorithms");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+fn bench_boruvka_vs_kruskal() {
+    let group = Group::new("msf_algorithms");
     let g = PaperGraph::Random4.generate(Scale::Tiny);
-    group.bench_function("kruskal_halving", |b| {
-        b.iter(|| black_box(ecl_spanning::kruskal::run(&g, Compression::Halving)));
+    group.bench("kruskal_halving", || {
+        black_box(ecl_spanning::kruskal::run(&g, Compression::Halving));
     });
-    group.bench_function("boruvka_par4", |b| {
-        b.iter(|| black_box(ecl_spanning::boruvka::run(&g, 4)));
+    group.bench("boruvka_par4", || {
+        black_box(ecl_spanning::boruvka::run(&g, 4));
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_kruskal_compression,
-    bench_gpu_boruvka_jumps,
-    bench_boruvka_vs_kruskal
-);
-criterion_main!(benches);
+fn main() {
+    bench_kruskal_compression();
+    bench_gpu_boruvka_jumps();
+    bench_boruvka_vs_kruskal();
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! harness [EXPERIMENT ...] [--scale tiny|bench|large] [--threads N]
+//!         [--verify] [--json FILE]
 //!
 //! Experiments:
 //!   table2  fig7  fig8  table3  table4  fig9  fig10
@@ -23,6 +24,8 @@ fn main() {
     let mut scale = Scale::Bench;
     let mut threads: Option<usize> = None;
     let mut selected: Vec<String> = Vec::new();
+    let mut verify = false;
+    let mut json_path: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -45,10 +48,26 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--verify" => verify = true,
+            "--json" => {
+                json_path = it.next().cloned();
+                if json_path.is_none() {
+                    eprintln!("--json needs a file path");
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: harness [EXPERIMENT ...] [--scale tiny|bench|large] [--threads N]");
-                println!("experiments: table1 table2 fig7 fig8 table3 table4 fig9 fig10 table5 table6");
+                println!(
+                    "usage: harness [EXPERIMENT ...] [--scale tiny|bench|large] [--threads N]"
+                );
+                println!("               [--verify] [--json FILE]");
+                println!(
+                    "experiments: table1 table2 fig7 fig8 table3 table4 fig9 fig10 table5 table6"
+                );
                 println!("             table7 table8 table9 table10 fig17 ordering internals all");
+                println!("--verify certifies every code's labels with the independent checker");
+                println!("         (outside the timed region) and emits JSON records; --json");
+                println!("         chooses the output file (default bench-verify.json)");
                 return;
             }
             other => selected.push(other.to_string()),
@@ -118,10 +137,34 @@ fn main() {
             "table7" => exp::cpu_parallel_comparison(scale, t_big, "Table 7 / Fig. 13"),
             "table8" => exp::cpu_parallel_comparison(scale, t_small, "Table 8 / Fig. 14"),
             "table9" => exp::serial_comparison(scale, "Table 9 / Fig. 15"),
-            "table10" => exp::serial_comparison(scale, "Table 10 / Fig. 16 (same host; see EXPERIMENTS.md)"),
+            "table10" => {
+                exp::serial_comparison(scale, "Table 10 / Fig. 16 (same host; see EXPERIMENTS.md)")
+            }
             "fig17" => exp::fig17(scale, t_big),
             "ordering" => exp::ordering(scale, &titan),
             _ => unreachable!(),
+        }
+    }
+
+    if verify || json_path.is_some() {
+        let records = exp::verify_sweep(scale, t_big, &titan);
+        let path = json_path.unwrap_or_else(|| "bench-verify.json".to_string());
+        let failed = records
+            .iter()
+            .filter(|r| r.verified.as_ref().is_some_and(|v| !v.pass))
+            .count();
+        match ecl_bench::report::write_report(&path, &records) {
+            Ok(()) => println!(
+                "\nwrote {} records to {path} ({failed} failed certification)",
+                records.len()
+            ),
+            Err(e) => {
+                eprintln!("error writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if failed > 0 {
+            std::process::exit(1);
         }
     }
 }

@@ -2,7 +2,8 @@
 //! function prints the regenerated rows; EXPERIMENTS.md records a captured
 //! run against the paper's numbers.
 
-use crate::runners::{run_gpu_code, CPU_PAR_CODES, GPU_CODES, SERIAL_CODES};
+use crate::report::{BenchRecord, VerifyOutcome};
+use crate::runners::{run_gpu_code, try_run_gpu_code, CPU_PAR_CODES, GPU_CODES, SERIAL_CODES};
 use crate::{geomean, median_time_ms, paper_graphs, print_table};
 use ecl_cc::{EclConfig, FiniKind, InitKind, JumpKind};
 use ecl_gpu_sim::{DeviceProfile, Gpu};
@@ -26,19 +27,69 @@ pub fn table1() {
         vec!["GPU", "parallel", "IrGL", "ecl-baselines::gpu::irgl"],
         vec!["GPU", "parallel", "Soman", "ecl-baselines::gpu::soman"],
         vec!["CPU", "parallel", "CRONO", "ecl-baselines::cpu::crono"],
-        vec!["CPU", "parallel", "ECL-CComp", "ecl-cc::parallel (this work)"],
-        vec!["CPU", "parallel", "Galois", "ecl-baselines::cpu::galois_async"],
-        vec!["CPU", "parallel", "Ligra+ BFSCC", "ecl-baselines::cpu::bfscc"],
-        vec!["CPU", "parallel", "Ligra+ Comp", "ecl-baselines::cpu::label_prop"],
-        vec!["CPU", "parallel", "Multistep", "ecl-baselines::cpu::multistep"],
-        vec!["CPU", "parallel", "ndHybrid", "ecl-baselines::cpu::ndhybrid"],
+        vec![
+            "CPU",
+            "parallel",
+            "ECL-CComp",
+            "ecl-cc::parallel (this work)",
+        ],
+        vec![
+            "CPU",
+            "parallel",
+            "Galois",
+            "ecl-baselines::cpu::galois_async",
+        ],
+        vec![
+            "CPU",
+            "parallel",
+            "Ligra+ BFSCC",
+            "ecl-baselines::cpu::bfscc",
+        ],
+        vec![
+            "CPU",
+            "parallel",
+            "Ligra+ Comp",
+            "ecl-baselines::cpu::label_prop",
+        ],
+        vec![
+            "CPU",
+            "parallel",
+            "Multistep",
+            "ecl-baselines::cpu::multistep",
+        ],
+        vec![
+            "CPU",
+            "parallel",
+            "ndHybrid",
+            "ecl-baselines::cpu::ndhybrid",
+        ],
         vec!["CPU", "serial", "Boost", "ecl-baselines::serial::dfs_cc"],
         vec!["CPU", "serial", "ECL-CCser", "ecl-cc::serial (this work)"],
-        vec!["CPU", "serial", "Galois", "ecl-baselines::serial::unionfind_cc"],
-        vec!["CPU", "serial", "igraph", "ecl-baselines::serial::igraph_cc"],
+        vec![
+            "CPU",
+            "serial",
+            "Galois",
+            "ecl-baselines::serial::unionfind_cc",
+        ],
+        vec![
+            "CPU",
+            "serial",
+            "igraph",
+            "ecl-baselines::serial::igraph_cc",
+        ],
         vec!["CPU", "serial", "Lemon", "ecl-baselines::serial::bfs_cc"],
-        vec!["CPU", "parallel", "Afforest*", "ecl-baselines::cpu::afforest (beyond paper)"],
-        vec!["CPU", "parallel", "BFSCC-hybrid*", "ecl-baselines::cpu::bfscc::run_direction_optimizing (beyond paper)"],
+        vec![
+            "CPU",
+            "parallel",
+            "Afforest*",
+            "ecl-baselines::cpu::afforest (beyond paper)",
+        ],
+        vec![
+            "CPU",
+            "parallel",
+            "BFSCC-hybrid*",
+            "ecl-baselines::cpu::bfscc::run_direction_optimizing (beyond paper)",
+        ],
     ];
     let rows: Vec<Vec<String>> = rows
         .into_iter()
@@ -111,7 +162,10 @@ fn ablation<T: Copy>(
 /// Fig. 7: runtime of the three initialization variants relative to Init3.
 pub fn fig7(scale: Scale, profile: &DeviceProfile) {
     ablation(
-        &format!("Fig. 7 — initialization variants, {} (runtime / Init3)", profile.name),
+        &format!(
+            "Fig. 7 — initialization variants, {} (runtime / Init3)",
+            profile.name
+        ),
         scale,
         profile,
         &[
@@ -127,7 +181,10 @@ pub fn fig7(scale: Scale, profile: &DeviceProfile) {
 /// Fig. 8: runtime of the four pointer-jumping variants relative to Jump4.
 pub fn fig8(scale: Scale, profile: &DeviceProfile) {
     ablation(
-        &format!("Fig. 8 — pointer-jumping variants, {} (runtime / Jump4)", profile.name),
+        &format!(
+            "Fig. 8 — pointer-jumping variants, {} (runtime / Jump4)",
+            profile.name
+        ),
         scale,
         profile,
         &[
@@ -188,8 +245,13 @@ pub fn fig9(scale: Scale, profile: &DeviceProfile) {
     }
     rows.push(gm);
     print_table(
-        &format!("Fig. 9 — finalization variants, {} (total & finalize-kernel runtime / Fini3)", profile.name),
-        &["Graph", "tot F1", "tot F2", "tot F3", "krn F1", "krn F2", "krn F3"],
+        &format!(
+            "Fig. 9 — finalization variants, {} (total & finalize-kernel runtime / Fini3)",
+            profile.name
+        ),
+        &[
+            "Graph", "tot F1", "tot F2", "tot F3", "krn F1", "krn F2", "krn F3",
+        ],
         &rows,
     );
 }
@@ -241,7 +303,9 @@ pub fn table3(scale: Scale, profile: &DeviceProfile) {
     rows.push(gm);
     print_table(
         &format!("Table 3 — L2 accesses relative to Jump4, {}", profile.name),
-        &["Graph", "rd J1", "rd J2", "rd J3", "wr J1", "wr J2", "wr J3"],
+        &[
+            "Graph", "rd J1", "rd J2", "rd J3", "wr J1", "wr J2", "wr J3",
+        ],
         &rows,
     );
 }
@@ -293,12 +357,17 @@ pub fn fig10(scale: Scale, profile: &DeviceProfile) {
     }
     let mut avg = vec!["mean".to_string()];
     for v in &shares {
-        avg.push(format!("{:.1}%", v.iter().sum::<f64>() / v.len().max(1) as f64));
+        avg.push(format!(
+            "{:.1}%",
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        ));
     }
     rows.push(avg);
     print_table(
         &format!("Fig. 10 — kernel runtime breakdown, {}", profile.name),
-        &["Graph", "init", "compute1", "compute2", "compute3", "finalize"],
+        &[
+            "Graph", "init", "compute1", "compute2", "compute3", "finalize",
+        ],
         &rows,
     );
 }
@@ -331,12 +400,27 @@ pub fn gpu_comparison(scale: Scale, profile: &DeviceProfile) {
         gm.push(format!("{:.2}x", geomean(v)));
     }
     rows.push(gm);
-    let table_no = if profile.name == "K40" { "Table 6 / Fig. 12" } else { "Table 5 / Fig. 11" };
+    let table_no = if profile.name == "K40" {
+        "Table 6 / Fig. 12"
+    } else {
+        "Table 5 / Fig. 11"
+    };
     print_table(
-        &format!("{table_no} — GPU codes, {} (simulated ms; rel = code/ECL-CC)", profile.name),
+        &format!(
+            "{table_no} — GPU codes, {} (simulated ms; rel = code/ECL-CC)",
+            profile.name
+        ),
         &[
-            "Graph", "ECL-CC", "Groute", "Gunrock", "IrGL", "Soman",
-            "relGroute", "relGunrock", "relIrGL", "relSoman",
+            "Graph",
+            "ECL-CC",
+            "Groute",
+            "Gunrock",
+            "IrGL",
+            "Soman",
+            "relGroute",
+            "relGunrock",
+            "relIrGL",
+            "relSoman",
         ],
         &rows,
     );
@@ -376,12 +460,25 @@ pub fn cpu_parallel_comparison(scale: Scale, threads: usize, label: &str) {
     }
     let mut gm = vec!["geomean rel".to_string(), String::new()];
     for v in &rel {
-        gm.push(if v.is_empty() { "n/a".into() } else { format!("{:.2}x", geomean(v)) });
+        gm.push(if v.is_empty() {
+            "n/a".into()
+        } else {
+            format!("{:.2}x", geomean(v))
+        });
     }
     rows.push(gm);
     print_table(
         &format!("{label} — parallel CPU codes, {threads} threads (ms; geomean rel to ECL-CComp)"),
-        &["Graph", "ECL-CComp", "BFSCC", "Comp", "CRONO", "ndHybrid", "Multistep", "Galois"],
+        &[
+            "Graph",
+            "ECL-CComp",
+            "BFSCC",
+            "Comp",
+            "CRONO",
+            "ndHybrid",
+            "Multistep",
+            "Galois",
+        ],
         &rows,
     );
 }
@@ -395,7 +492,8 @@ pub fn serial_comparison(scale: Scale, label: &str) {
         let times: Vec<f64> = SERIAL_CODES
             .iter()
             .map(|&(code_name, r)| {
-                r(g).verify(g).unwrap_or_else(|e| panic!("{code_name}: {e}"));
+                r(g).verify(g)
+                    .unwrap_or_else(|e| panic!("{code_name}: {e}"));
                 median_time_ms(|| {
                     let _ = std::hint::black_box(r(g));
                 })
@@ -440,9 +538,18 @@ pub fn ordering(scale: Scale, profile: &DeviceProfile) {
         let n = base.num_vertices();
         let orderings: Vec<(&str, ecl_graph::CsrGraph)> = vec![
             ("natural", base.clone()),
-            ("random", transform::permute(&base, &transform::random_permutation(n, 42))),
-            ("reversed", transform::permute(&base, &transform::reverse_permutation(n))),
-            ("bfs", transform::permute(&base, &transform::bfs_permutation(&base))),
+            (
+                "random",
+                transform::permute(&base, &transform::random_permutation(n, 42)),
+            ),
+            (
+                "reversed",
+                transform::permute(&base, &transform::reverse_permutation(n)),
+            ),
+            (
+                "bfs",
+                transform::permute(&base, &transform::bfs_permutation(&base)),
+            ),
         ];
         let cfg = EclConfig {
             record_path_lengths: true,
@@ -468,7 +575,10 @@ pub fn ordering(scale: Scale, profile: &DeviceProfile) {
         }
     }
     print_table(
-        &format!("Ordering sensitivity (beyond paper), {} — runtime / natural order", profile.name),
+        &format!(
+            "Ordering sensitivity (beyond paper), {} — runtime / natural order",
+            profile.name
+        ),
         &["Graph / ordering", "Rel time", "Avg path", "Max path"],
         &rows,
     );
@@ -539,4 +649,124 @@ pub fn fig17(scale: Scale, threads: usize) {
         &["Code", "Geomean rel"],
         &rows,
     );
+}
+
+/// `--verify` sweep: runs every code (GPU, parallel CPU, serial) on the
+/// quick graph set, certifies each labeling with the independent checker
+/// *outside* the timed region, and returns machine-readable records for
+/// JSON emission. Prints a summary table as it goes.
+pub fn verify_sweep(scale: Scale, threads: usize, profile: &DeviceProfile) -> Vec<BenchRecord> {
+    let graphs = crate::quick_graphs(scale);
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+
+    let push = |records: &mut Vec<BenchRecord>,
+                rows: &mut Vec<Vec<String>>,
+                graph: &str,
+                code: String,
+                time_ms: f64,
+                simulated: bool,
+                outcome: VerifyOutcome| {
+        rows.push(vec![
+            graph.to_string(),
+            code.clone(),
+            format!("{time_ms:.2}"),
+            if outcome.pass {
+                format!("certified ({} components)", outcome.components)
+            } else {
+                format!("FAILED: {}", outcome.detail)
+            },
+        ]);
+        records.push(BenchRecord {
+            experiment: "verify-sweep".into(),
+            graph: graph.to_string(),
+            code,
+            time_ms,
+            simulated,
+            verified: Some(outcome),
+        });
+    };
+
+    let certify = |g: &CsrGraph, labels: &[u32]| match ecl_verify::certify(g, labels) {
+        Ok(c) => VerifyOutcome {
+            pass: true,
+            components: c.num_components,
+            detail: String::new(),
+        },
+        Err(e) => VerifyOutcome {
+            pass: false,
+            components: 0,
+            detail: e.to_string(),
+        },
+    };
+
+    for (gname, g) in &graphs {
+        for &(cname, r) in &GPU_CODES {
+            match try_run_gpu_code(r, profile, g) {
+                Ok(run) => push(
+                    &mut records,
+                    &mut rows,
+                    gname,
+                    format!("GPU {cname}"),
+                    run.ms,
+                    true,
+                    VerifyOutcome {
+                        pass: true,
+                        components: run.certificate.num_components,
+                        detail: String::new(),
+                    },
+                ),
+                Err(e) => push(
+                    &mut records,
+                    &mut rows,
+                    gname,
+                    format!("GPU {cname}"),
+                    f64::NAN,
+                    true,
+                    VerifyOutcome {
+                        pass: false,
+                        components: 0,
+                        detail: e,
+                    },
+                ),
+            }
+        }
+        for &(cname, r) in &CPU_PAR_CODES {
+            let Some(first) = r(g, threads) else { continue };
+            let t = median_time_ms(|| {
+                let _ = std::hint::black_box(r(g, threads));
+            });
+            push(
+                &mut records,
+                &mut rows,
+                gname,
+                format!("parCPU {cname}"),
+                t,
+                false,
+                certify(g, &first.labels),
+            );
+        }
+        for &(cname, r) in &SERIAL_CODES {
+            let first = r(g);
+            let t = median_time_ms(|| {
+                let _ = std::hint::black_box(r(g));
+            });
+            push(
+                &mut records,
+                &mut rows,
+                gname,
+                format!("serCPU {cname}"),
+                t,
+                false,
+                certify(g, &first.labels),
+            );
+        }
+    }
+
+    print_table(
+        "Verification sweep — every code certified outside the timed region",
+        &["Graph", "Code", "ms", "Certification"],
+        &rows,
+    );
+    records
 }

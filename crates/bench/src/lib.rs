@@ -1,11 +1,14 @@
 //! Benchmark harness support: graph sets, timing, aggregation, and the
-//! per-experiment drivers behind the `harness` binary and the Criterion
-//! benches. Each public `exp_*` function regenerates one table or figure
-//! of the paper (see DESIGN.md's experiment index).
+//! per-experiment drivers behind the `harness` binary and the
+//! `[[bench]]` targets (which run on the in-crate [`microbench`]
+//! runner). Each public `exp_*` function regenerates one table or
+//! figure of the paper (see DESIGN.md's experiment index).
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod microbench;
+pub mod report;
 pub mod runners;
 
 use ecl_graph::catalog::{PaperGraph, Scale};
@@ -43,7 +46,8 @@ pub fn paper_graphs(scale: Scale) -> Vec<(&'static str, CsrGraph)> {
         .collect()
 }
 
-/// A quick subset (fast, varied classes) used by the Criterion benches.
+/// A quick subset (fast, varied classes) used by the `[[bench]]`
+/// targets and the `--verify` sweep.
 pub fn quick_graphs(scale: Scale) -> Vec<(&'static str, CsrGraph)> {
     [
         PaperGraph::Grid2d,
@@ -90,7 +94,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for r in rows {
         println!("{}", fmt_row(r));
     }

@@ -1,0 +1,77 @@
+//! Minimal self-contained micro-benchmark runner.
+//!
+//! The `[[bench]]` targets used to be Criterion suites; with the
+//! workspace now hermetic (no registry access, no external crates) they
+//! run on this ~60-line harness instead. The API mirrors the slice of
+//! Criterion they used — named groups, per-case ids, `iter`-style
+//! closures — and the output is one line per case:
+//!
+//! ```text
+//! group/id  median  <ms>  (k samples)
+//! ```
+//!
+//! Medians over a fixed sample count keep the relative numbers stable;
+//! absolute times are not the point (the paper's figures are ratios).
+
+use std::time::Instant;
+
+/// Samples measured per case (median reported).
+pub const DEFAULT_SAMPLES: usize = 7;
+
+/// A named group of benchmark cases, printed with a header line.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    /// Starts a group and prints its header.
+    pub fn new(name: &str) -> Group {
+        println!("\n## {name}");
+        Group {
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Overrides the per-case sample count.
+    pub fn sample_size(mut self, samples: usize) -> Group {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Measures `f` (one full workload per call) and prints the median.
+    pub fn bench<F: FnMut()>(&self, id: &str, mut f: F) -> f64 {
+        // One untimed warm-up run, then `samples` timed runs.
+        f();
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2];
+        println!(
+            "{}/{}  median {:10.4} ms  ({} samples)",
+            self.name, id, median, self.samples
+        );
+        median
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hint::black_box;
+
+    #[test]
+    fn bench_returns_nonnegative_median() {
+        let g = Group::new("selftest").sample_size(3);
+        let m = g.bench("sum", || {
+            let _ = black_box((0..1000u64).sum::<u64>());
+        });
+        assert!(m >= 0.0);
+    }
+}

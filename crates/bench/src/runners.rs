@@ -46,13 +46,41 @@ pub const GPU_CODES: [(&str, GpuRunner); 5] = [
     ("Soman", gpu_soman as GpuRunner),
 ];
 
-/// Runs one GPU code on a fresh device of the given profile; returns
-/// simulated pseudo-milliseconds (verified against the BFS reference).
-pub fn run_gpu_code(runner: GpuRunner, profile: &DeviceProfile, g: &CsrGraph) -> f64 {
+/// A timed and certified GPU run.
+pub struct CertifiedGpuRun {
+    /// Simulated pseudo-milliseconds.
+    pub ms: f64,
+    /// Certificate from the independent checker (issued *outside* the
+    /// timed region — certification never contributes to `ms`).
+    pub certificate: ecl_verify::Certificate,
+}
+
+/// Runs one GPU code on a fresh device of the given profile and certifies
+/// the labeling with the independent checker. Timing is simulated cycles;
+/// certification happens on the host afterwards and costs no simulated
+/// time. Errors (rather than panics) on a wrong labeling.
+pub fn try_run_gpu_code(
+    runner: GpuRunner,
+    profile: &DeviceProfile,
+    g: &CsrGraph,
+) -> Result<CertifiedGpuRun, String> {
     let mut gpu = Gpu::new(profile.clone());
     let (r, cycles) = runner(&mut gpu, g);
-    r.verify(g).expect("GPU code produced a wrong labeling");
-    profile.cycles_to_ms(cycles)
+    let certificate = ecl_verify::certify(g, &r.labels)
+        .map_err(|e| format!("GPU code produced a wrong labeling: {e}"))?;
+    Ok(CertifiedGpuRun {
+        ms: profile.cycles_to_ms(cycles),
+        certificate,
+    })
+}
+
+/// Infallible convenience wrapper around [`try_run_gpu_code`] for the
+/// experiment drivers, which treat a wrong labeling as fatal.
+pub fn run_gpu_code(runner: GpuRunner, profile: &DeviceProfile, g: &CsrGraph) -> f64 {
+    match try_run_gpu_code(runner, profile, g) {
+        Ok(run) => run.ms,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// One parallel CPU code: `(graph, threads) -> labels`, `None` when the
@@ -108,7 +136,10 @@ fn ser_ecl(g: &CsrGraph) -> CcResult {
 /// The five serial codes of Tables 9/10, in the paper's column order.
 pub const SERIAL_CODES: [(&str, SerialRunner); 5] = [
     ("ECL-CCser", ser_ecl as SerialRunner),
-    ("Galois", ecl_baselines::serial::unionfind_cc as SerialRunner),
+    (
+        "Galois",
+        ecl_baselines::serial::unionfind_cc as SerialRunner,
+    ),
     ("Boost", ecl_baselines::serial::dfs_cc as SerialRunner),
     ("Lemon", ecl_baselines::serial::bfs_cc as SerialRunner),
     ("igraph", ecl_baselines::serial::igraph_cc as SerialRunner),

@@ -94,7 +94,12 @@ pub fn write_graph(g: &CsrGraph, path: &Path, format: Option<Format>) -> Result<
             use std::io::Write;
             (|| {
                 writeln!(writer, "c written by ecl-cc")?;
-                writeln!(writer, "p sp {} {}", g.num_vertices(), g.num_directed_edges())?;
+                writeln!(
+                    writer,
+                    "p sp {} {}",
+                    g.num_vertices(),
+                    g.num_directed_edges()
+                )?;
                 for (u, v) in g.directed_edges() {
                     writeln!(writer, "a {} {} 1", u + 1, v + 1)?;
                 }
@@ -105,7 +110,13 @@ pub fn write_graph(g: &CsrGraph, path: &Path, format: Option<Format>) -> Result<
             use std::io::Write;
             (|| {
                 writeln!(writer, "%%MatrixMarket matrix coordinate pattern symmetric")?;
-                writeln!(writer, "{} {} {}", g.num_vertices(), g.num_vertices(), g.num_edges())?;
+                writeln!(
+                    writer,
+                    "{} {} {}",
+                    g.num_vertices(),
+                    g.num_vertices(),
+                    g.num_edges()
+                )?;
                 for (u, v) in g.edges() {
                     writeln!(writer, "{} {}", v + 1, u + 1)?;
                 }
@@ -118,9 +129,25 @@ pub fn write_graph(g: &CsrGraph, path: &Path, format: Option<Format>) -> Result<
 
 /// Algorithms selectable via `--algo`.
 pub const ALGORITHMS: &[&str] = &[
-    "serial", "parallel", "gpu", "soman", "groute", "gunrock", "irgl", "bfscc", "label-prop",
-    "bfscc-hybrid", "afforest", "multistep", "crono", "galois", "ndhybrid", "dfs", "bfs",
-    "igraph", "unionfind",
+    "serial",
+    "parallel",
+    "gpu",
+    "soman",
+    "groute",
+    "gunrock",
+    "irgl",
+    "bfscc",
+    "label-prop",
+    "bfscc-hybrid",
+    "afforest",
+    "multistep",
+    "crono",
+    "galois",
+    "ndhybrid",
+    "dfs",
+    "bfs",
+    "igraph",
+    "unionfind",
 ];
 
 /// Runs the named algorithm; `Err` on unknown names or refusals.
@@ -153,8 +180,71 @@ pub fn run_algorithm(name: &str, g: &CsrGraph, threads: usize) -> Result<CcResul
         "bfs" => ecl_baselines::serial::bfs_cc(g),
         "igraph" => ecl_baselines::serial::igraph_cc(g),
         "unionfind" => ecl_baselines::serial::unionfind_cc(g),
-        other => return Err(format!("unknown algorithm '{other}' (try: {})", ALGORITHMS.join(", "))),
+        other => {
+            return Err(format!(
+                "unknown algorithm '{other}' (try: {})",
+                ALGORITHMS.join(", ")
+            ))
+        }
     })
+}
+
+/// Runs the graceful-degradation fallback ladder (simulated GPU →
+/// multicore CPU → serial), certifying each stage's output before
+/// acceptance. `watchdog` is the optional per-kernel cycle budget for the
+/// GPU stage.
+pub fn run_ladder(
+    g: &CsrGraph,
+    threads: usize,
+    watchdog: Option<u64>,
+) -> Result<ecl_cc::LadderOutcome, String> {
+    let cfg = ecl_cc::LadderConfig {
+        threads,
+        watchdog,
+        profile: DeviceProfile::titan_x(),
+        ..ecl_cc::LadderConfig::default()
+    };
+    ecl_cc::ladder::run_with_fallback(g, &cfg).map_err(|e| e.to_string())
+}
+
+/// Parses a label file of `vertex label` lines (the format written by
+/// `components --labels`) into a dense label array for an `n`-vertex
+/// graph. Vertices may appear in any order; each must appear exactly once.
+pub fn parse_label_file(text: &str, n: usize) -> Result<Vec<u32>, String> {
+    let mut labels = vec![u32::MAX; n];
+    let mut seen = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (v, l) = match (it.next(), it.next(), it.next()) {
+            (Some(v), Some(l), None) => (v, l),
+            _ => return Err(format!("line {}: expected `vertex label`", lineno + 1)),
+        };
+        let v: usize = v
+            .parse()
+            .map_err(|e| format!("line {}: bad vertex: {e}", lineno + 1))?;
+        let l: u32 = l
+            .parse()
+            .map_err(|e| format!("line {}: bad label: {e}", lineno + 1))?;
+        if v >= n {
+            return Err(format!(
+                "line {}: vertex {v} out of range (n = {n})",
+                lineno + 1
+            ));
+        }
+        if labels[v] != u32::MAX {
+            return Err(format!("line {}: vertex {v} listed twice", lineno + 1));
+        }
+        labels[v] = l;
+        seen += 1;
+    }
+    if seen != n {
+        return Err(format!("label file covers {seen} of {n} vertices"));
+    }
+    Ok(labels)
 }
 
 /// Resolves a catalog graph name (Table 2 name) and scale string.
@@ -184,7 +274,10 @@ mod tests {
     fn format_inference() {
         assert_eq!(Format::from_path(Path::new("a.el")), Some(Format::EdgeList));
         assert_eq!(Format::from_path(Path::new("a.gr")), Some(Format::Dimacs));
-        assert_eq!(Format::from_path(Path::new("a.mtx")), Some(Format::MatrixMarket));
+        assert_eq!(
+            Format::from_path(Path::new("a.mtx")),
+            Some(Format::MatrixMarket)
+        );
         assert_eq!(Format::from_path(Path::new("a.ecl")), Some(Format::Binary));
         assert_eq!(Format::from_path(Path::new("a.xyz")), None);
         assert_eq!(Format::from_path(Path::new("noext")), None);
@@ -214,7 +307,8 @@ mod tests {
     #[test]
     fn every_algorithm_runs() {
         let g = ecl_graph::generate::gnm_random(120, 300, 2);
-        let reference = ecl_graph::stats::canonicalize_labels(&ecl_graph::stats::reference_labels(&g));
+        let reference =
+            ecl_graph::stats::canonicalize_labels(&ecl_graph::stats::reference_labels(&g));
         for &name in ALGORITHMS {
             let r = run_algorithm(name, &g, 2).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(
@@ -223,6 +317,27 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    #[test]
+    fn label_file_roundtrip() {
+        let labels = parse_label_file("0 0\n1 0\n2 2\n", 3).unwrap();
+        assert_eq!(labels, vec![0, 0, 2]);
+        // Order-insensitive, comments and blanks skipped.
+        let labels = parse_label_file("# hdr\n2 2\n\n0 0\n1 0\n", 3).unwrap();
+        assert_eq!(labels, vec![0, 0, 2]);
+        assert!(parse_label_file("0 0\n", 2).is_err(), "missing vertex");
+        assert!(parse_label_file("0 0\n0 1\n", 1).is_err(), "duplicate");
+        assert!(parse_label_file("5 0\n", 1).is_err(), "out of range");
+        assert!(parse_label_file("a b\n", 1).is_err(), "garbage");
+        assert!(parse_label_file("0 1 2\n", 1).is_err(), "extra column");
+    }
+
+    #[test]
+    fn ladder_from_cli_certifies() {
+        let g = ecl_graph::generate::disjoint_cliques(3, 5);
+        let out = run_ladder(&g, 2, None).unwrap();
+        assert_eq!(out.certificate.num_components, 3);
     }
 
     #[test]

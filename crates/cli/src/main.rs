@@ -1,6 +1,9 @@
 //! The `ecl-cc` command-line tool. See `lib.rs` for the implementation.
 
-use ecl_cc_cli::{generate_catalog, read_graph, run_algorithm, write_graph, Format, ALGORITHMS};
+use ecl_cc_cli::{
+    generate_catalog, parse_label_file, read_graph, run_algorithm, run_ladder, write_graph, Format,
+    ALGORITHMS,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -8,8 +11,15 @@ const USAGE: &str = "\
 usage: ecl-cc <command> [args]
 
 commands:
-  components <file> [--algo NAME] [--threads N] [--format F] [--labels OUT]
-      label connected components (default algo: parallel)
+  components <file> [--algo NAME|auto] [--threads N] [--format F] [--labels OUT]
+             [--watchdog CYCLES]
+      label connected components (default algo: parallel); `--algo auto`
+      runs the fallback ladder (simulated GPU -> multicore CPU -> serial),
+      certifying each stage's output and degrading on failure; --watchdog
+      sets the GPU stage's per-kernel cycle budget
+  verify <file> [--labels FILE | --algo NAME] [--threads N] [--format F]
+      certify a labeling with the independent O(n+m) checker: edge
+      consistency, representative fixpoints, component count vs BFS
   stats <file> [--format F]
       print the graph's Table-2 statistics
   generate <catalog-name> -o <file> [--scale tiny|bench|large]
@@ -35,7 +45,10 @@ fn main() {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn fmt_flag(args: &[String], name: &str) -> Result<Option<Format>, String> {
@@ -70,13 +83,32 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "components" => {
             let path = positional(args, 0)?;
             let algo = flag(args, "--algo").unwrap_or_else(|| "parallel".into());
+            let watchdog: Option<u64> = flag(args, "--watchdog")
+                .map(|w| w.parse().map_err(|e| format!("--watchdog: {e}")))
+                .transpose()?;
             let g = read_graph(&path, fmt_flag(args, "--format")?)?;
             let t = Instant::now();
-            let r = run_algorithm(&algo, &g, threads)?;
+            let (r, how) = if algo == "auto" {
+                let out = run_ladder(&g, threads, watchdog)?;
+                for a in &out.attempts {
+                    match &a.outcome {
+                        ecl_cc::ladder::AttemptOutcome::Failed { reason } => eprintln!(
+                            "  {}#{}: failed ({reason}); degrading",
+                            a.backend.name(),
+                            a.attempt
+                        ),
+                        ecl_cc::ladder::AttemptOutcome::Certified { .. } => {}
+                    }
+                }
+                (out.result, format!("auto:{}", out.backend.name()))
+            } else {
+                let r = run_algorithm(&algo, &g, threads)?;
+                (r, algo.clone())
+            };
             let elapsed = t.elapsed();
-            r.verify(&g).map_err(|e| format!("verification failed: {e}"))?;
+            ecl_verify::certify(&g, &r.labels).map_err(|e| format!("verification failed: {e}"))?;
             println!(
-                "{}: {} vertices, {} edges, {} components ({algo}, {:.2} ms, verified)",
+                "{}: {} vertices, {} edges, {} components ({how}, {:.2} ms, certified)",
                 path.display(),
                 g.num_vertices(),
                 g.num_edges(),
@@ -101,13 +133,46 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "verify" => {
+            let path = positional(args, 0)?;
+            let g = read_graph(&path, fmt_flag(args, "--format")?)?;
+            let (labels, source) = match flag(args, "--labels") {
+                Some(file) => {
+                    let text =
+                        std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+                    (parse_label_file(&text, g.num_vertices())?, file)
+                }
+                None => {
+                    let algo = flag(args, "--algo").unwrap_or_else(|| "parallel".into());
+                    let r = run_algorithm(&algo, &g, threads)?;
+                    (r.labels, format!("algorithm `{algo}`"))
+                }
+            };
+            match ecl_verify::certify(&g, &labels) {
+                Ok(cert) => {
+                    println!(
+                        "OK: {source} certifies on {} ({} vertices, {} edges checked, \
+                         {} components)",
+                        path.display(),
+                        cert.num_vertices,
+                        cert.edges_checked,
+                        cert.num_components
+                    );
+                    Ok(())
+                }
+                Err(e) => Err(format!("certification FAILED for {source}: {e}")),
+            }
+        }
         "stats" => {
             let path = positional(args, 0)?;
             let g = read_graph(&path, fmt_flag(args, "--format")?)?;
             let s = ecl_graph::stats::graph_stats(&g);
             println!("vertices:       {}", s.vertices);
             println!("directed edges: {}", s.directed_edges);
-            println!("degree min/avg/max: {} / {:.1} / {}", s.dmin, s.davg, s.dmax);
+            println!(
+                "degree min/avg/max: {} / {:.1} / {}",
+                s.dmin, s.davg, s.dmax
+            );
             println!("components:     {}", s.components);
             Ok(())
         }

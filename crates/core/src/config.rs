@@ -64,17 +64,26 @@ impl Default for EclConfig {
 impl EclConfig {
     /// Default configuration with a different init variant.
     pub fn with_init(init: InitKind) -> Self {
-        EclConfig { init, ..Default::default() }
+        EclConfig {
+            init,
+            ..Default::default()
+        }
     }
 
     /// Default configuration with a different jump variant.
     pub fn with_jump(jump: JumpKind) -> Self {
-        EclConfig { jump, ..Default::default() }
+        EclConfig {
+            jump,
+            ..Default::default()
+        }
     }
 
     /// Default configuration with a different finalization variant.
     pub fn with_fini(fini: FiniKind) -> Self {
-        EclConfig { fini, ..Default::default() }
+        EclConfig {
+            fini,
+            ..Default::default()
+        }
     }
 }
 
@@ -95,8 +104,17 @@ mod tests {
 
     #[test]
     fn with_variants() {
-        assert_eq!(EclConfig::with_init(InitKind::VertexId).init, InitKind::VertexId);
-        assert_eq!(EclConfig::with_jump(JumpKind::Single).jump, JumpKind::Single);
-        assert_eq!(EclConfig::with_fini(FiniKind::Multiple).fini, FiniKind::Multiple);
+        assert_eq!(
+            EclConfig::with_init(InitKind::VertexId).init,
+            InitKind::VertexId
+        );
+        assert_eq!(
+            EclConfig::with_jump(JumpKind::Single).jump,
+            JumpKind::Single
+        );
+        assert_eq!(
+            EclConfig::with_fini(FiniKind::Multiple).fini,
+            FiniKind::Multiple
+        );
     }
 }

@@ -1,0 +1,109 @@
+//! Structured errors for the ECL-CC execution pipeline.
+//!
+//! Hot paths used to panic on anything unexpected (oversized graphs,
+//! simulator aborts, wrong labelings). Panics are fine for internal
+//! invariant violations, but everything a *caller* can meaningfully react
+//! to — by retrying, degrading to another backend, or reporting — is a
+//! variant here.
+
+use ecl_gpu_sim::SimError;
+use ecl_verify::VerifyError;
+use std::fmt;
+
+/// An execution-pipeline failure a caller can react to.
+#[derive(Clone, Debug)]
+pub enum EclError {
+    /// The graph does not fit the simulator's 32-bit device indices.
+    GraphTooLarge {
+        /// Vertex count of the offending graph.
+        vertices: usize,
+        /// Directed edge count of the offending graph.
+        directed_edges: usize,
+    },
+    /// The simulated GPU aborted the run (watchdog trip or memory fault).
+    Sim(SimError),
+    /// A backend produced a labeling that failed certification.
+    Verification(VerifyError),
+    /// A backend stage panicked; the panic was contained at the stage
+    /// boundary.
+    StagePanicked {
+        /// Which stage panicked (e.g. `"gpu-sim"`).
+        stage: String,
+        /// The panic message, if it was a string.
+        detail: String,
+    },
+    /// Every rung of the fallback ladder failed.
+    Exhausted {
+        /// Total attempts made across all stages.
+        attempts: usize,
+        /// Failure reason of the last attempt.
+        last: String,
+    },
+}
+
+impl fmt::Display for EclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EclError::GraphTooLarge {
+                vertices,
+                directed_edges,
+            } => write!(
+                f,
+                "graph too large for 32-bit device indices \
+                 ({vertices} vertices, {directed_edges} directed edges)"
+            ),
+            EclError::Sim(e) => write!(f, "simulated GPU fault: {e}"),
+            EclError::Verification(e) => write!(f, "result failed certification: {e}"),
+            EclError::StagePanicked { stage, detail } => {
+                write!(f, "stage `{stage}` panicked: {detail}")
+            }
+            EclError::Exhausted { attempts, last } => write!(
+                f,
+                "all fallback stages failed after {attempts} attempts (last: {last})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EclError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EclError::Sim(e) => Some(e),
+            EclError::Verification(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for EclError {
+    fn from(e: SimError) -> Self {
+        EclError::Sim(e)
+    }
+}
+
+impl From<VerifyError> for EclError {
+    fn from(e: VerifyError) -> Self {
+        EclError::Verification(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        let e = EclError::GraphTooLarge {
+            vertices: 7,
+            directed_edges: 9,
+        };
+        assert!(e.to_string().contains("7 vertices"));
+        let e = EclError::from(SimError::Watchdog {
+            kernel: "compute1".into(),
+            budget: 10,
+            spent: 11,
+        });
+        assert!(e.to_string().contains("compute1"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -21,6 +21,7 @@
 pub mod warp_ops;
 
 use crate::config::{EclConfig, FiniKind, InitKind};
+use crate::error::EclError;
 use crate::result::CcResult;
 use ecl_gpu_sim::{Gpu, KernelStats, Lanes, Mask, LANES};
 use ecl_unionfind::concurrent::JumpKind;
@@ -101,11 +102,25 @@ impl GpuRunStats {
 /// measurement protocol ("we assume the graph to already be on the GPU",
 /// §4).
 pub fn run(gpu: &mut Gpu, g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult, GpuRunStats) {
+    try_run(gpu, g, cfg).unwrap_or_else(|e| panic!("GPU ECL-CC failed: {e}"))
+}
+
+/// Fallible form of [`run`]: oversized graphs, watchdog trips, and device
+/// memory faults come back as [`EclError`] instead of panicking. On error
+/// the device's memory and counters are in an unspecified state — discard
+/// the `Gpu` (or treat it as scratch) and re-run on a fresh device.
+pub fn try_run(
+    gpu: &mut Gpu,
+    g: &ecl_graph::CsrGraph,
+    cfg: &EclConfig,
+) -> Result<(CcResult, GpuRunStats), EclError> {
     let n = g.num_vertices();
-    assert!(
-        g.num_directed_edges() < u32::MAX as usize && n < u32::MAX as usize,
-        "graph too large for 32-bit device indices"
-    );
+    if g.num_directed_edges() >= u32::MAX as usize || n >= u32::MAX as usize {
+        return Err(EclError::GraphTooLarge {
+            vertices: n,
+            directed_edges: g.num_directed_edges(),
+        });
+    }
     let kernels_before = gpu.kernel_stats().len();
 
     // ---- device buffers (uploads are untimed, like a prior memcpy) ----
@@ -124,7 +139,7 @@ pub fn run(gpu: &mut Gpu, g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult
 
     // ---------------- kernel 1: init ----------------------------------
     let init_kind = cfg.init;
-    gpu.launch_warps("init", total, |w| {
+    gpu.try_launch_warps("init", total, |w| {
         let mut v = w.thread_ids();
         loop {
             let m = w.launch_mask() & v.lt_scalar(nu);
@@ -165,13 +180,13 @@ pub fn run(gpu: &mut Gpu, g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult
             v = v.add_scalar(stride);
             w.alu(1);
         }
-    });
+    })?;
 
     // ---------------- kernel 2: compute1 (thread granularity) ----------
     let jump = cfg.jump;
     let warp_thresh = cfg.warp_threshold as u32;
     let block_thresh = cfg.block_threshold as u32;
-    gpu.launch_warps("compute1", total, |w| {
+    gpu.try_launch_warps("compute1", total, |w| {
         let mut v = w.thread_ids();
         loop {
             let m = w.launch_mask() & v.lt_scalar(nu);
@@ -226,7 +241,7 @@ pub fn run(gpu: &mut Gpu, g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult
             v = v.add_scalar(stride);
             w.alu(1);
         }
-    });
+    })?;
 
     // Worklist sizes become known to the host here (the CUDA code reads
     // them in-kernel; reading them between launches is untimed either way).
@@ -234,7 +249,7 @@ pub fn run(gpu: &mut Gpu, g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult
     let (mid_count, big_count) = (ctr[0], ctr[1]);
 
     // ---------------- kernel 3: compute2 (warp granularity) ------------
-    gpu.launch_warps("compute2", total, |w| {
+    gpu.try_launch_warps("compute2", total, |w| {
         let num_warps = (w.total_threads() as usize / LANES) as u32;
         let mut wi = w.thread_ids().get(0) / LANES as u32;
         while wi < mid_count {
@@ -242,7 +257,10 @@ pub fn run(gpu: &mut Gpu, g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult
             let beg = w.load_uniform(nidx, v);
             let end = w.load_uniform(nidx, v + 1);
             if let Some(acc) = paths.as_mut() {
-                acc.absorb(&probe_path_lengths(w, parent, &Lanes::splat(v), Mask(1)), Mask(1));
+                acc.absorb(
+                    &probe_path_lengths(w, parent, &Lanes::splat(v), Mask(1)),
+                    Mask(1),
+                );
             }
             let v_rep0 = warp_find(w, parent, &Lanes::splat(v), Mask(1), jump).get(0);
             let mut v_rep = Lanes::splat(v_rep0);
@@ -267,12 +285,12 @@ pub fn run(gpu: &mut Gpu, g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult
             wi += num_warps;
             w.alu(1);
         }
-    });
+    })?;
 
     // ---------------- kernel 4: compute3 (block granularity) -----------
     let nblocks = (gpu.profile().num_sms * 4).max(1);
     let tpb = gpu.profile().threads_per_block as u32;
-    gpu.launch_blocks("compute3", nblocks, |b| {
+    gpu.try_launch_blocks("compute3", nblocks, |b| {
         let mut j = b.block_idx() as u32;
         let step = b.num_blocks() as u32;
         while j < big_count {
@@ -312,11 +330,11 @@ pub fn run(gpu: &mut Gpu, g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult
             });
             j += step;
         }
-    });
+    })?;
 
     // ---------------- kernel 5: finalize -------------------------------
     let fini = cfg.fini;
-    gpu.launch_warps("finalize", total, |w| {
+    gpu.try_launch_warps("finalize", total, |w| {
         let mut v = w.thread_ids();
         loop {
             let m = w.launch_mask() & v.lt_scalar(nu);
@@ -341,7 +359,7 @@ pub fn run(gpu: &mut Gpu, g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult
             v = v.add_scalar(stride);
             w.alu(1);
         }
-    });
+    })?;
 
     let labels = if n == 0 {
         Vec::new()
@@ -354,7 +372,7 @@ pub fn run(gpu: &mut Gpu, g: &ecl_graph::CsrGraph, cfg: &EclConfig) -> (CcResult
         worklist_big: big_count as usize,
         path_lengths: paths,
     };
-    (CcResult::new(labels), stats)
+    Ok((CcResult::new(labels), stats))
 }
 
 #[cfg(test)]
@@ -399,7 +417,10 @@ mod tests {
     fn five_kernels_in_order() {
         let s = check(&generate::gnm_random(300, 900, 1), &EclConfig::default());
         let names: Vec<_> = s.kernels.iter().map(|k| k.name.as_str()).collect();
-        assert_eq!(names, ["init", "compute1", "compute2", "compute3", "finalize"]);
+        assert_eq!(
+            names,
+            ["init", "compute1", "compute2", "compute3", "finalize"]
+        );
     }
 
     #[test]
@@ -424,10 +445,19 @@ mod tests {
     #[test]
     fn all_variants_verify_on_random_graph() {
         let g = generate::rmat(9, 8, generate::RmatParams::GALOIS, 3);
-        for init in [InitKind::VertexId, InitKind::MinNeighbor, InitKind::FirstSmaller] {
+        for init in [
+            InitKind::VertexId,
+            InitKind::MinNeighbor,
+            InitKind::FirstSmaller,
+        ] {
             check(&g, &EclConfig::with_init(init));
         }
-        for jump in [JumpKind::Multiple, JumpKind::Single, JumpKind::None, JumpKind::Intermediate] {
+        for jump in [
+            JumpKind::Multiple,
+            JumpKind::Single,
+            JumpKind::None,
+            JumpKind::Intermediate,
+        ] {
             check(&g, &EclConfig::with_jump(jump));
         }
         for fini in [FiniKind::Intermediate, FiniKind::Multiple, FiniKind::Single] {
@@ -447,8 +477,10 @@ mod tests {
     #[test]
     fn path_probe_collects_samples() {
         let g = generate::gnm_random(400, 1200, 7);
-        let mut cfg = EclConfig::default();
-        cfg.record_path_lengths = true;
+        let cfg = EclConfig {
+            record_path_lengths: true,
+            ..EclConfig::default()
+        };
         let s = check(&g, &cfg);
         let p = s.path_lengths.unwrap();
         assert!(p.samples > 0);
@@ -482,9 +514,11 @@ mod tests {
 
     #[test]
     fn custom_thresholds_respected() {
-        let mut cfg = EclConfig::default();
-        cfg.warp_threshold = 2;
-        cfg.block_threshold = 5;
+        let cfg = EclConfig {
+            warp_threshold: 2,
+            block_threshold: 5,
+            ..EclConfig::default()
+        };
         // Path graph: interior degree 2 ≤ 2 → all compute1.
         let s = check(&generate::path(100), &cfg);
         assert_eq!(s.worklist_mid + s.worklist_big, 0);

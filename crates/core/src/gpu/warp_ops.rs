@@ -47,12 +47,7 @@ pub fn warp_find(
 /// The paper's Fig. 5 in warp-vector form: every active lane halves its
 /// own path while walking it; the warp iterates until its slowest lane
 /// reaches a representative (lockstep divergence cost).
-pub fn warp_find_intermediate(
-    w: &mut WarpCtx,
-    parent: DevicePtr,
-    v: &Lanes,
-    mask: Mask,
-) -> Lanes {
+pub fn warp_find_intermediate(w: &mut WarpCtx, parent: DevicePtr, v: &Lanes, mask: Mask) -> Lanes {
     let mut par = w.load(parent, v, mask);
     let mut prev = *v;
     // Lanes whose parent is themselves are already done.
@@ -231,8 +226,8 @@ mod tests {
             assert_eq!(root.get(0), 0);
         });
         let after = gpu.download(p);
-        for i in 1..32 {
-            assert_eq!(after[i], 0, "element {i} must point at root");
+        for (i, &a) in after.iter().enumerate().skip(1) {
+            assert_eq!(a, 0, "element {i} must point at root");
         }
     }
 
@@ -271,8 +266,8 @@ mod tests {
             let _ = warp_hook(w, p, &u, &v, Mask::ALL);
         });
         let after = gpu.download(p);
-        for v in 1..33 {
-            assert_eq!(after[v], 0, "vertex {v}");
+        for (v, &a) in after.iter().enumerate().take(33).skip(1) {
+            assert_eq!(a, 0, "vertex {v}");
         }
     }
 

@@ -1,0 +1,314 @@
+//! Graceful-degradation fallback ladder.
+//!
+//! Production pipelines cannot afford a wrong answer, but they *can*
+//! afford a slower one. The ladder runs ECL-CC on the fastest available
+//! backend first and walks down on failure:
+//!
+//! ```text
+//! simulated GPU  →  multicore CPU  →  serial
+//! ```
+//!
+//! Every stage's output is certified by the independent checker in
+//! [`ecl_verify`] *before* it is accepted — a backend that silently
+//! produces a wrong labeling (not just one that crashes) is treated as
+//! failed and the ladder degrades. Each stage is additionally isolated
+//! with [`std::panic::catch_unwind`], so a panicking backend cannot take
+//! the process down with it.
+//!
+//! A stage is retried once (configurable) before degrading; GPU retries
+//! perturb the fault-plan seed so a transient injected fault does not
+//! deterministically repeat, mirroring how real transient faults behave.
+
+use crate::config::EclConfig;
+use crate::error::EclError;
+use crate::result::CcResult;
+use crate::{gpu, parallel, serial};
+use ecl_gpu_sim::{DeviceProfile, FaultPlan, Gpu};
+use ecl_graph::CsrGraph;
+use ecl_verify::Certificate;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One rung of the ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// ECL-CC's five kernels on the SIMT simulator.
+    GpuSim,
+    /// The OpenMP-style port on the workspace thread pool.
+    ParallelCpu,
+    /// Plain sequential ECL-CC — the rung of last resort.
+    Serial,
+}
+
+impl Backend {
+    /// Short stable name for logs and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::GpuSim => "gpu-sim",
+            Backend::ParallelCpu => "parallel-cpu",
+            Backend::Serial => "serial",
+        }
+    }
+}
+
+/// How the ladder should run.
+#[derive(Clone, Debug)]
+pub struct LadderConfig {
+    /// Algorithm configuration shared by every backend.
+    pub cc: EclConfig,
+    /// Stages to try, in order. Defaults to GPU → parallel → serial.
+    pub stages: Vec<Backend>,
+    /// Attempts per stage before degrading (≥ 1). Defaults to 2:
+    /// try, retry once, degrade.
+    pub attempts_per_stage: usize,
+    /// Threads for the parallel-CPU stage.
+    pub threads: usize,
+    /// Device profile for the GPU stage.
+    pub profile: DeviceProfile,
+    /// Fault plan installed on the simulated GPU (tests and demos inject
+    /// faults here; production uses [`FaultPlan::none`]).
+    pub fault: FaultPlan,
+    /// Per-kernel cycle budget for the GPU watchdog, if any.
+    pub watchdog: Option<u64>,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            cc: EclConfig::default(),
+            stages: vec![Backend::GpuSim, Backend::ParallelCpu, Backend::Serial],
+            attempts_per_stage: 2,
+            threads: 4,
+            profile: DeviceProfile::test_tiny(),
+            fault: FaultPlan::none(),
+            watchdog: None,
+        }
+    }
+}
+
+/// Record of one attempt, kept for every attempt the ladder made — the
+/// audit trail of how the final answer was reached.
+#[derive(Clone, Debug)]
+pub struct StageAttempt {
+    /// Which backend ran.
+    pub backend: Backend,
+    /// 1-based attempt number within that stage.
+    pub attempt: usize,
+    /// What happened.
+    pub outcome: AttemptOutcome,
+}
+
+/// Outcome of a single attempt.
+#[derive(Clone, Debug)]
+pub enum AttemptOutcome {
+    /// The backend's labeling passed certification.
+    Certified {
+        /// Component count established by the certificate.
+        num_components: usize,
+    },
+    /// The backend failed: structured error, contained panic, or a
+    /// labeling rejected by the checker.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// A certified answer, plus the trail of attempts that produced it.
+#[derive(Clone, Debug)]
+pub struct LadderOutcome {
+    /// The accepted (certified) labeling.
+    pub result: CcResult,
+    /// The certificate the checker issued for it.
+    pub certificate: Certificate,
+    /// The backend whose answer was accepted.
+    pub backend: Backend,
+    /// Every attempt made, in order, including failures.
+    pub attempts: Vec<StageAttempt>,
+}
+
+/// Runs the fallback ladder: each stage in `cfg.stages` is attempted up
+/// to `cfg.attempts_per_stage` times; the first labeling that passes
+/// certification is returned. Only if *every* attempt of every stage
+/// fails does this return [`EclError::Exhausted`].
+pub fn run_with_fallback(g: &CsrGraph, cfg: &LadderConfig) -> Result<LadderOutcome, EclError> {
+    let mut attempts: Vec<StageAttempt> = Vec::new();
+    let mut last_reason = String::from("no stages configured");
+
+    for &backend in &cfg.stages {
+        for attempt in 1..=cfg.attempts_per_stage.max(1) {
+            let produced = run_stage(g, cfg, backend, attempt);
+            let reason = match produced {
+                Ok(result) => match ecl_verify::certify(g, &result.labels) {
+                    Ok(certificate) => {
+                        attempts.push(StageAttempt {
+                            backend,
+                            attempt,
+                            outcome: AttemptOutcome::Certified {
+                                num_components: certificate.num_components,
+                            },
+                        });
+                        return Ok(LadderOutcome {
+                            result,
+                            certificate,
+                            backend,
+                            attempts,
+                        });
+                    }
+                    Err(ve) => format!("certification rejected the labeling: {ve}"),
+                },
+                Err(reason) => reason,
+            };
+            attempts.push(StageAttempt {
+                backend,
+                attempt,
+                outcome: AttemptOutcome::Failed {
+                    reason: reason.clone(),
+                },
+            });
+            last_reason = format!("{}#{attempt}: {reason}", backend.name());
+        }
+    }
+
+    Err(EclError::Exhausted {
+        attempts: attempts.len(),
+        last: last_reason,
+    })
+}
+
+/// Runs one backend attempt, containing panics at the stage boundary.
+/// Returns the raw (uncertified) labeling or a failure reason.
+fn run_stage(
+    g: &CsrGraph,
+    cfg: &LadderConfig,
+    backend: Backend,
+    attempt: usize,
+) -> Result<CcResult, String> {
+    match backend {
+        Backend::GpuSim => {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                // Fresh device per attempt: after a watchdog abort or
+                // memory fault, device state is indeterminate by contract.
+                let mut device = Gpu::new(cfg.profile.clone());
+                let mut plan = cfg.fault;
+                // Retries reseed the plan so a transient injected fault
+                // does not repeat deterministically.
+                plan.seed = plan.seed.wrapping_add(attempt as u64 - 1);
+                device.set_fault_plan(plan);
+                device.set_watchdog(cfg.watchdog);
+                gpu::try_run(&mut device, g, &cfg.cc).map(|(r, _)| r)
+            }));
+            match caught {
+                Ok(Ok(result)) => Ok(result),
+                Ok(Err(e)) => Err(e.to_string()),
+                Err(payload) => Err(format!("panic contained: {}", panic_message(&payload))),
+            }
+        }
+        Backend::ParallelCpu => {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                parallel::run(g, cfg.threads.max(1), &cfg.cc)
+            }));
+            caught.map_err(|p| format!("panic contained: {}", panic_message(&p)))
+        }
+        Backend::Serial => {
+            let caught = catch_unwind(AssertUnwindSafe(|| serial::run(g, &cfg.cc)));
+            caught.map_err(|p| format!("panic contained: {}", panic_message(&p)))
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generate;
+
+    #[test]
+    fn healthy_ladder_accepts_gpu_first_try() {
+        let g = generate::gnm_random(200, 600, 5);
+        let out = run_with_fallback(&g, &LadderConfig::default()).unwrap();
+        assert_eq!(out.backend, Backend::GpuSim);
+        assert_eq!(out.attempts.len(), 1);
+        assert!(matches!(
+            out.attempts[0].outcome,
+            AttemptOutcome::Certified { .. }
+        ));
+        assert_eq!(out.certificate.num_components, out.result.num_components());
+    }
+
+    #[test]
+    fn watchdog_starvation_degrades_to_cpu() {
+        // A 1-cycle budget trips on the very first charge, every attempt:
+        // the GPU stage can never succeed, so the ladder must degrade and
+        // still return a certified answer.
+        let g = generate::disjoint_cliques(3, 10);
+        let cfg = LadderConfig {
+            watchdog: Some(1),
+            ..LadderConfig::default()
+        };
+        let out = run_with_fallback(&g, &cfg).unwrap();
+        assert_eq!(out.backend, Backend::ParallelCpu);
+        assert_eq!(out.certificate.num_components, 3);
+        // Audit trail: two failed GPU attempts, then the accepted one.
+        assert_eq!(out.attempts.len(), 3);
+        for a in &out.attempts[..2] {
+            assert_eq!(a.backend, Backend::GpuSim);
+            match &a.outcome {
+                AttemptOutcome::Failed { reason } => {
+                    assert!(reason.contains("watchdog"), "reason: {reason}")
+                }
+                other => panic!("expected failure, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serial_only_ladder_works() {
+        let g = generate::cycle(40);
+        let cfg = LadderConfig {
+            stages: vec![Backend::Serial],
+            ..LadderConfig::default()
+        };
+        let out = run_with_fallback(&g, &cfg).unwrap();
+        assert_eq!(out.backend, Backend::Serial);
+        assert_eq!(out.certificate.num_components, 1);
+    }
+
+    #[test]
+    fn empty_stage_list_exhausts() {
+        let g = generate::path(5);
+        let cfg = LadderConfig {
+            stages: vec![],
+            ..LadderConfig::default()
+        };
+        assert!(matches!(
+            run_with_fallback(&g, &cfg),
+            Err(EclError::Exhausted { attempts: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn faulty_gpu_still_yields_certified_answer() {
+        // Heavy fault injection: whatever happens on the GPU rung, the
+        // ladder's answer must be certified-correct.
+        let g = generate::gnm_random(150, 400, 9);
+        let cfg = LadderConfig {
+            fault: FaultPlan::everything(0xfa11),
+            watchdog: Some(2_000_000),
+            ..LadderConfig::default()
+        };
+        let out = run_with_fallback(&g, &cfg).unwrap();
+        assert_eq!(
+            out.certificate.num_components,
+            ecl_graph::stats::count_components(&g)
+        );
+    }
+}

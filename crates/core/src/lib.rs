@@ -27,14 +27,18 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod gpu;
 pub mod incremental;
+pub mod ladder;
 pub mod parallel;
 pub mod result;
 pub mod serial;
 
 pub use config::{EclConfig, FiniKind, InitKind};
 pub use ecl_unionfind::concurrent::JumpKind;
+pub use error::EclError;
+pub use ladder::{LadderConfig, LadderOutcome};
 pub use result::CcResult;
 
 use ecl_graph::CsrGraph;

@@ -37,9 +37,8 @@ pub fn run_with_schedule(
             init_arr[v].store(init_label(g, v as Vertex, cfg.init), Ordering::Relaxed);
         });
     }
-    let parents = AtomicParents::from_vec(
-        init_arr.into_iter().map(AtomicU32::into_inner).collect(),
-    );
+    let parents =
+        AtomicParents::from_vec(init_arr.into_iter().map(AtomicU32::into_inner).collect());
 
     // --- Phase 2: computation -----------------------------------------
     {
@@ -104,7 +103,9 @@ pub fn run_instrumented(
     use std::sync::atomic::AtomicU64;
     let n = g.num_vertices();
     let parents = AtomicParents::from_vec(
-        (0..n as Vertex).map(|v| init_label(g, v, cfg.init)).collect(),
+        (0..n as Vertex)
+            .map(|v| init_label(g, v, cfg.init))
+            .collect(),
     );
     let edges = AtomicU64::new(0);
     let hooks = AtomicU64::new(0);
@@ -155,7 +156,8 @@ mod tests {
 
     fn check(g: &CsrGraph, threads: usize, cfg: &EclConfig) {
         let r = run(g, threads, cfg);
-        r.verify(g).unwrap_or_else(|e| panic!("{cfg:?} x{threads}: {e}"));
+        r.verify(g)
+            .unwrap_or_else(|e| panic!("{cfg:?} x{threads}: {e}"));
         for (v, &l) in r.labels.iter().enumerate() {
             assert_eq!(r.labels[l as usize], l, "vertex {v} label not a root");
         }
@@ -191,10 +193,19 @@ mod tests {
     #[test]
     fn all_variants_verify() {
         let g = generate::gnm_random(800, 2000, 11);
-        for init in [InitKind::VertexId, InitKind::MinNeighbor, InitKind::FirstSmaller] {
+        for init in [
+            InitKind::VertexId,
+            InitKind::MinNeighbor,
+            InitKind::FirstSmaller,
+        ] {
             check(&g, 4, &EclConfig::with_init(init));
         }
-        for jump in [JumpKind::Multiple, JumpKind::Single, JumpKind::None, JumpKind::Intermediate] {
+        for jump in [
+            JumpKind::Multiple,
+            JumpKind::Single,
+            JumpKind::None,
+            JumpKind::Intermediate,
+        ] {
             check(&g, 4, &EclConfig::with_jump(jump));
         }
         for fini in [FiniKind::Intermediate, FiniKind::Multiple, FiniKind::Single] {

@@ -70,18 +70,8 @@ pub(crate) fn init_phase(g: &CsrGraph, init: InitKind) -> Vec<Vertex> {
 pub(crate) fn init_label(g: &CsrGraph, v: Vertex, init: InitKind) -> Vertex {
     match init {
         InitKind::VertexId => v,
-        InitKind::MinNeighbor => g
-            .neighbors(v)
-            .iter()
-            .copied()
-            .min()
-            .map_or(v, |m| m.min(v)),
-        InitKind::FirstSmaller => g
-            .neighbors(v)
-            .iter()
-            .copied()
-            .find(|&u| u < v)
-            .unwrap_or(v),
+        InitKind::MinNeighbor => g.neighbors(v).iter().copied().min().map_or(v, |m| m.min(v)),
+        InitKind::FirstSmaller => g.neighbors(v).iter().copied().find(|&u| u < v).unwrap_or(v),
     }
 }
 
@@ -204,7 +194,10 @@ mod tests {
         check(&generate::binary_tree(127), &cfg);
         check(&generate::grid2d(17, 23), &cfg);
         check(&generate::gnm_random(500, 700, 1), &cfg);
-        check(&generate::rmat(10, 8, generate::RmatParams::GALOIS, 2), &cfg);
+        check(
+            &generate::rmat(10, 8, generate::RmatParams::GALOIS, 2),
+            &cfg,
+        );
     }
 
     #[test]
@@ -219,7 +212,11 @@ mod tests {
     #[test]
     fn all_init_variants_agree() {
         let g = generate::gnm_random(400, 900, 7);
-        for init in [InitKind::VertexId, InitKind::MinNeighbor, InitKind::FirstSmaller] {
+        for init in [
+            InitKind::VertexId,
+            InitKind::MinNeighbor,
+            InitKind::FirstSmaller,
+        ] {
             check(&g, &EclConfig::with_init(init));
         }
     }
@@ -227,7 +224,12 @@ mod tests {
     #[test]
     fn all_jump_variants_agree() {
         let g = generate::rmat(9, 6, generate::RmatParams::GALOIS, 3);
-        for jump in [JumpKind::Multiple, JumpKind::Single, JumpKind::None, JumpKind::Intermediate] {
+        for jump in [
+            JumpKind::Multiple,
+            JumpKind::Single,
+            JumpKind::None,
+            JumpKind::Intermediate,
+        ] {
             check(&g, &EclConfig::with_jump(jump));
         }
     }
@@ -272,7 +274,11 @@ mod tests {
     fn compressed_run_all_variants_verify() {
         let g = generate::rmat(9, 6, generate::RmatParams::GALOIS, 21);
         let c = ecl_graph::CompressedGraph::from_csr(&g);
-        for init in [InitKind::VertexId, InitKind::MinNeighbor, InitKind::FirstSmaller] {
+        for init in [
+            InitKind::VertexId,
+            InitKind::MinNeighbor,
+            InitKind::FirstSmaller,
+        ] {
             let r = run_compressed(&c, &EclConfig::with_init(init));
             r.verify(&g).unwrap();
         }
@@ -285,6 +291,10 @@ mod tests {
         assert_eq!(init_label(&g, 3, InitKind::FirstSmaller), 1);
         assert_eq!(init_label(&g, 3, InitKind::MinNeighbor), 1);
         assert_eq!(init_label(&g, 3, InitKind::VertexId), 3);
-        assert_eq!(init_label(&g, 1, InitKind::FirstSmaller), 1, "no smaller neighbor");
+        assert_eq!(
+            init_label(&g, 1, InitKind::FirstSmaller),
+            1,
+            "no smaller neighbor"
+        );
     }
 }

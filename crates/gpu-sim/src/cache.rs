@@ -222,8 +222,8 @@ mod tests {
         c.access(0, true); // dirty sector in line 0
         c.access(256, false);
         let l = c.access(512, false); // evicts one of them
-        // Either line 0 (dirty) or 256 (clean) got evicted; run one more
-        // fill so both victims have cycled and the writeback must appear.
+                                      // Either line 0 (dirty) or 256 (clean) got evicted; run one more
+                                      // fill so both victims have cycled and the writeback must appear.
         c.access(768, false);
         let _ = l;
         assert_eq!(c.stats().writebacks, 1);

@@ -2,10 +2,64 @@
 //! kernel-launch API.
 
 use crate::cache::{Cache, CacheStats};
+use crate::error::{SimError, WatchdogAbort};
+use crate::fault::{FaultPlan, FaultRng};
 use crate::mem::{DevicePtr, GlobalMemory};
 use crate::profile::DeviceProfile;
 use crate::warp::{BlockCtx, WarpCtx};
 use crate::LANES;
+
+std::thread_local! {
+    /// True while a `try_launch_*` call is on this thread's stack — the
+    /// quiet panic hook only swallows simulator aborts raised inside one.
+    static IN_TRY_LAUNCH: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// message/backtrace for panics `try_launch_*` is about to convert into
+/// [`SimError`] — watchdog aborts and device OOB faults. All other panics,
+/// and these same panics outside a `try_launch_*`, still reach the
+/// previous hook unchanged.
+fn install_quiet_abort_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let convertible = payload.is::<WatchdogAbort>()
+                || payload
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("OOB"))
+                || payload
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("OOB"));
+            if !(convertible && IN_TRY_LAUNCH.with(|c| c.get())) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// RAII guard for the thread-local launch flag: restores the previous
+/// value even if the launch panics with a non-convertible payload.
+struct TryLaunchScope {
+    was: bool,
+}
+
+impl TryLaunchScope {
+    fn enter() -> Self {
+        install_quiet_abort_hook();
+        let was = IN_TRY_LAUNCH.with(|c| c.replace(true));
+        TryLaunchScope { was }
+    }
+}
+
+impl Drop for TryLaunchScope {
+    fn drop(&mut self) {
+        IN_TRY_LAUNCH.with(|c| c.set(self.was));
+    }
+}
 
 /// Counters gathered for one kernel launch.
 #[derive(Clone, Debug, Default)]
@@ -49,6 +103,11 @@ pub struct Gpu {
     pub(crate) sm_cycles: Vec<u64>,
     pub(crate) cur: LaunchCounters,
     kernels: Vec<KernelStats>,
+    pub(crate) fault: FaultPlan,
+    pub(crate) fault_rng: FaultRng,
+    pub(crate) watchdog: Option<u64>,
+    pub(crate) launch_start_sm: Vec<u64>,
+    launch_index: u64,
 }
 
 /// Counters accumulated while a launch is in flight.
@@ -81,6 +140,7 @@ impl Gpu {
             profile.sector_bytes,
         );
         let sm_cycles = vec![0; profile.num_sms];
+        let launch_start_sm = sm_cycles.clone();
         Gpu {
             profile,
             mem: GlobalMemory::new(),
@@ -89,6 +149,55 @@ impl Gpu {
             sm_cycles,
             cur: LaunchCounters::default(),
             kernels: Vec::new(),
+            fault: FaultPlan::none(),
+            fault_rng: FaultRng::new(0, 0),
+            watchdog: None,
+            launch_start_sm,
+            launch_index: 0,
+        }
+    }
+
+    /// Installs a fault-injection plan applied to every subsequent launch
+    /// (see [`FaultPlan`]); [`FaultPlan::none`] restores clean execution.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// The active fault-injection plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// Arms (or with `None` disarms) the kernel watchdog: any single
+    /// launch whose busiest SM exceeds `budget` cycles is aborted, and the
+    /// fallible launch APIs report it as [`SimError::Watchdog`]. The
+    /// infallible `launch_*` APIs propagate the abort as a panic.
+    ///
+    /// After a watchdog abort the in-flight launch's counters are
+    /// discarded and device memory may hold a partial kernel's writes;
+    /// callers are expected to re-run on a fresh device (what the
+    /// fallback ladder in `ecl-cc` does) or re-upload their buffers.
+    pub fn set_watchdog(&mut self, budget: Option<u64>) {
+        self.watchdog = budget;
+    }
+
+    /// The armed watchdog budget, if any.
+    pub fn watchdog(&self) -> Option<u64> {
+        self.watchdog
+    }
+
+    /// Adds `cycles` to an SM's busy counter, aborting the launch when an
+    /// armed watchdog's budget is exhausted. Every cycle-charging site in
+    /// the warp context funnels through here, so a livelocked kernel trips
+    /// the watchdog no matter which operation it spins on.
+    #[inline]
+    pub(crate) fn charge(&mut self, sm: usize, cycles: u64) {
+        self.sm_cycles[sm] += cycles;
+        if let Some(budget) = self.watchdog {
+            let spent = self.sm_cycles[sm] - self.launch_start_sm[sm];
+            if spent > budget {
+                std::panic::panic_any(WatchdogAbort { budget, spent });
+            }
         }
     }
 
@@ -137,14 +246,20 @@ impl Gpu {
     where
         F: FnMut(&mut WarpCtx),
     {
-        let start_sm = self.sm_cycles.clone();
+        let start_sm = self.begin_launch();
         let (l1_before, l2_before) = self.cache_snapshot();
         self.cur = LaunchCounters::default();
 
-        let tpb = self.profile.threads_per_block;
         let warps_per_block = self.profile.warps_per_block();
         let num_warps = total_threads.div_ceil(LANES);
-        for wid in 0..num_warps {
+        // Block→SM placement is fixed at launch; only the *execution order*
+        // of warps is perturbed under a scheduler-chaos fault plan (real
+        // hardware guarantees nothing about it either).
+        let mut order: Vec<usize> = (0..num_warps).collect();
+        if self.fault.shuffle_warps {
+            self.fault_rng.shuffle(&mut order);
+        }
+        for &wid in &order {
             let block = wid / warps_per_block;
             let sm = block % self.profile.num_sms;
             let base = (wid * LANES) as u32;
@@ -153,8 +268,83 @@ impl Gpu {
             body(&mut ctx);
             self.cur.warps += 1;
         }
-        let _ = tpb;
         self.finish_launch(name, start_sm, l1_before, l2_before)
+    }
+
+    /// Fallible form of [`Self::launch_warps`]: converts watchdog aborts
+    /// and out-of-bounds device accesses into a structured [`SimError`]
+    /// instead of a panic. Any other panic from the kernel body is
+    /// propagated unchanged.
+    pub fn try_launch_warps<F>(
+        &mut self,
+        name: &str,
+        total_threads: usize,
+        body: F,
+    ) -> Result<KernelStats, SimError>
+    where
+        F: FnMut(&mut WarpCtx),
+    {
+        let _scope = TryLaunchScope::enter();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.launch_warps(name, total_threads, body)
+        }));
+        result.map_err(|payload| Self::classify_abort(name, payload))
+    }
+
+    /// Fallible form of [`Self::launch_blocks`] (see
+    /// [`Self::try_launch_warps`] for the abort contract).
+    pub fn try_launch_blocks<F>(
+        &mut self,
+        name: &str,
+        num_blocks: usize,
+        body: F,
+    ) -> Result<KernelStats, SimError>
+    where
+        F: FnMut(&mut BlockCtx),
+    {
+        let _scope = TryLaunchScope::enter();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.launch_blocks(name, num_blocks, body)
+        }));
+        result.map_err(|payload| Self::classify_abort(name, payload))
+    }
+
+    /// Maps a caught launch panic to the error taxonomy: the watchdog's
+    /// dedicated payload becomes [`SimError::Watchdog`], bounds-check
+    /// failures become [`SimError::MemoryFault`], anything else resumes
+    /// unwinding (it is a simulator or kernel bug, not a modelled fault).
+    fn classify_abort(name: &str, payload: Box<dyn std::any::Any + Send>) -> SimError {
+        let payload = match payload.downcast::<WatchdogAbort>() {
+            Ok(w) => {
+                return SimError::Watchdog {
+                    kernel: name.to_string(),
+                    budget: w.budget,
+                    spent: w.spent,
+                }
+            }
+            Err(other) => other,
+        };
+        let detail = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()));
+        match detail {
+            Some(d) if d.contains("OOB") => SimError::MemoryFault {
+                kernel: name.to_string(),
+                detail: d,
+            },
+            _ => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Per-launch prologue: advances the fault-RNG stream and snapshots
+    /// SM counters for the watchdog. Returns the snapshot for
+    /// `finish_launch`.
+    fn begin_launch(&mut self) -> Vec<u64> {
+        self.launch_index += 1;
+        self.fault_rng = FaultRng::new(self.fault.seed, self.launch_index);
+        self.launch_start_sm.clone_from(&self.sm_cycles);
+        self.sm_cycles.clone()
     }
 
     /// Launches a block-granularity kernel: the closure runs once per
@@ -163,11 +353,15 @@ impl Gpu {
     where
         F: FnMut(&mut BlockCtx),
     {
-        let start_sm = self.sm_cycles.clone();
+        let start_sm = self.begin_launch();
         let (l1_before, l2_before) = self.cache_snapshot();
         self.cur = LaunchCounters::default();
 
-        for b in 0..num_blocks {
+        let mut order: Vec<usize> = (0..num_blocks).collect();
+        if self.fault.shuffle_warps {
+            self.fault_rng.shuffle(&mut order);
+        }
+        for &b in &order {
             let sm = b % self.profile.num_sms;
             let mut ctx = BlockCtx::new(self, sm, b, num_blocks);
             body(&mut ctx);
@@ -341,7 +535,8 @@ mod tests {
             for _ in 0..(n / 1024) {
                 let idx = tid.map(|t| {
                     t.wrapping_mul(2654435761)
-                        .wrapping_add(iter.wrapping_mul(40503)) % n as u32
+                        .wrapping_add(iter.wrapping_mul(40503))
+                        % n as u32
                 });
                 let m = w.launch_mask();
                 let _ = w.load(buf, &idx, m);
@@ -376,7 +571,13 @@ mod tests {
         let cell = gpu.alloc_from(&[5]);
         gpu.launch_warps("cas", 32, |w| {
             let m = w.launch_mask();
-            let old = w.atomic_cas(cell, &Lanes::splat(0), &Lanes::splat(5), &Lanes::splat(9), m);
+            let old = w.atomic_cas(
+                cell,
+                &Lanes::splat(0),
+                &Lanes::splat(5),
+                &Lanes::splat(9),
+                m,
+            );
             // Exactly one lane observes 5; the rest observe 9.
             let winners = old.eq_mask(&Lanes::splat(5)) & m;
             assert_eq!(winners.count(), 1);
@@ -395,7 +596,11 @@ mod tests {
             }
         });
         assert!(k.cycles >= 1000 + 100);
-        assert!(k.cycles < 3000, "cycles {} look summed, not maxed", k.cycles);
+        assert!(
+            k.cycles < 3000,
+            "cycles {} look summed, not maxed",
+            k.cycles
+        );
     }
 
     #[test]
@@ -441,7 +646,11 @@ mod tests {
                 let _ = w.load(buf, &tid, m);
             }
         });
-        assert!(k.l1_hit_transactions >= 9 * 4, "l1 hits {}", k.l1_hit_transactions);
+        assert!(
+            k.l1_hit_transactions >= 9 * 4,
+            "l1 hits {}",
+            k.l1_hit_transactions
+        );
         // Only the first pass misses: 4 sectors.
         assert!(k.l2_read_accesses <= 8, "l2 reads {}", k.l2_read_accesses);
     }

@@ -1,0 +1,83 @@
+//! Structured simulator errors.
+//!
+//! The simulator historically aborted with panics (standing in for CUDA
+//! illegal-address errors and host-side hangs). The fallible launch API
+//! ([`crate::Gpu::try_launch_warps`] / [`crate::Gpu::try_launch_blocks`])
+//! converts those aborts into this taxonomy so callers can degrade
+//! gracefully instead of crashing a whole sweep.
+
+use std::fmt;
+
+/// An abort raised while simulating a kernel launch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The per-launch cycle budget was exceeded — the kernel is presumed
+    /// livelocked (the simulator equivalent of a GPU watchdog reset).
+    Watchdog {
+        /// Kernel name as passed to the launch call.
+        kernel: String,
+        /// Configured budget, in cycles.
+        budget: u64,
+        /// Cycles the busiest SM had consumed when the watchdog fired.
+        spent: u64,
+    },
+    /// An out-of-bounds device access (the CUDA illegal-address analogue).
+    MemoryFault {
+        /// Kernel name as passed to the launch call.
+        kernel: String,
+        /// Human-readable description of the faulting access.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Watchdog {
+                kernel,
+                budget,
+                spent,
+            } => write!(
+                f,
+                "watchdog: kernel `{kernel}` exceeded its cycle budget ({spent} > {budget}); \
+                 presumed livelocked"
+            ),
+            SimError::MemoryFault { kernel, detail } => {
+                write!(f, "memory fault in kernel `{kernel}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Panic payload used by the watchdog to abort a launch from deep inside
+/// a kernel body; `try_launch_*` downcasts it back into
+/// [`SimError::Watchdog`]. Not public API.
+#[derive(Debug)]
+pub(crate) struct WatchdogAbort {
+    pub budget: u64,
+    pub spent: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_kernel() {
+        let e = SimError::Watchdog {
+            kernel: "compute1".into(),
+            budget: 100,
+            spent: 150,
+        };
+        assert!(e.to_string().contains("compute1"));
+        assert!(e.to_string().contains("150"));
+        let m = SimError::MemoryFault {
+            kernel: "init".into(),
+            detail: "idx 9 >= len 4".into(),
+        };
+        assert!(m.to_string().contains("init"));
+        assert!(m.to_string().contains("idx 9"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultPlan`] makes the simulator *adversarial*: it perturbs the
+//! execution in ways real GPUs are allowed to (and occasionally do)
+//! without ever leaving the envelope of behaviours the CUDA memory and
+//! execution model permits. Algorithms that are correct on hardware must
+//! therefore stay correct under any plan — which is exactly what the
+//! robustness property tests assert for ECL-CC's lock-free union-find.
+//!
+//! Three fault classes are modelled:
+//!
+//! * **Spurious `atomicCAS` contention** — a CAS that would have
+//!   succeeded instead observes that an identical-intent competitor won
+//!   the race an instant earlier: the new value is in memory, but the
+//!   returned "old" value differs from `cmp`. This is a reachable state
+//!   of the real machine (two threads racing the same hook, §3 of the
+//!   paper) and forces every CAS retry loop to actually retry.
+//! * **Delayed memory responses** — individual transactions cost extra
+//!   cycles, skewing per-SM timing (and poking the watchdog) without
+//!   changing values.
+//! * **Warp-scheduler perturbation** — warps (and blocks) execute in a
+//!   seeded pseudo-random order instead of index order, reordering the
+//!   serialized atomics exactly as a different hardware scheduler would.
+//!
+//! All decisions come from a [`FaultRng`] seeded from the plan's seed and
+//! the launch index, so a given (plan, program) pair replays bit-for-bit.
+
+/// A seeded description of which faults to inject, threaded through the
+/// device ([`crate::Gpu::set_fault_plan`]) into every kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for all injection decisions (per-launch streams are derived
+    /// from it, so plans replay deterministically).
+    pub seed: u64,
+    /// Per-mille probability (0..=1000) that a would-succeed `atomicCAS`
+    /// lane is reported as lost-to-a-competitor (the write still lands).
+    pub cas_spurious_permille: u32,
+    /// Per-mille probability (0..=1000) that a memory transaction is
+    /// delayed by [`FaultPlan::mem_delay_cycles`].
+    pub mem_delay_permille: u32,
+    /// Extra cycles charged to a delayed transaction.
+    pub mem_delay_cycles: u64,
+    /// Execute warps (and blocks) in a seeded shuffled order instead of
+    /// index order.
+    pub shuffle_warps: bool,
+}
+
+impl FaultPlan {
+    /// The do-nothing plan (the default device state).
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            cas_spurious_permille: 0,
+            mem_delay_permille: 0,
+            mem_delay_cycles: 0,
+            shuffle_warps: false,
+        }
+    }
+
+    /// Heavy spurious-CAS contention: ~30% of winning CAS lanes are told
+    /// they lost.
+    pub const fn cas_storm(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            cas_spurious_permille: 300,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Sluggish memory: ~25% of transactions stall an extra 200 cycles.
+    pub const fn slow_memory(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            mem_delay_permille: 250,
+            mem_delay_cycles: 200,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Adversarial scheduler: warps and blocks run in shuffled order.
+    pub const fn scheduler_chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            shuffle_warps: true,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Every fault class at once.
+    pub const fn everything(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            cas_spurious_permille: 200,
+            mem_delay_permille: 150,
+            mem_delay_cycles: 120,
+            shuffle_warps: true,
+        }
+    }
+
+    /// True when the plan injects nothing (the fast path skips all RNG
+    /// work entirely).
+    pub fn is_none(&self) -> bool {
+        self.cas_spurious_permille == 0 && self.mem_delay_permille == 0 && !self.shuffle_warps
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// SplitMix64 — a tiny full-period generator for injection decisions.
+///
+/// Deliberately independent of `ecl-graph`'s PCG32 stream: fault decisions
+/// must not perturb (or be perturbed by) graph generation.
+#[derive(Clone, Debug)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Stream seeded from (seed, stream) — each kernel launch gets its own.
+    pub fn new(seed: u64, stream: u64) -> FaultRng {
+        FaultRng {
+            state: seed ^ stream.wrapping_mul(0x9e3779b97f4a7c15),
+        }
+    }
+
+    /// Next uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `permille`/1000.
+    pub fn chance(&mut self, permille: u32) -> bool {
+        permille > 0 && (self.next_u64() % 1000) < permille as u64
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_compose_and_report_noneness() {
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::cas_storm(1).is_none());
+        assert!(!FaultPlan::slow_memory(1).is_none());
+        assert!(!FaultPlan::scheduler_chaos(1).is_none());
+        assert!(!FaultPlan::everything(1).is_none());
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_stream() {
+        let mut a = FaultRng::new(42, 7);
+        let mut b = FaultRng::new(42, 7);
+        let mut c = FaultRng::new(42, 8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = FaultRng::new(1, 1);
+        assert!(!(0..100).any(|_| r.chance(0)));
+        assert!((0..100).all(|_| r.chance(1000)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = FaultRng::new(9, 0);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "seed 9 should actually permute");
+    }
+}

@@ -37,14 +37,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fault;
 pub mod lanes;
 pub mod mem;
 pub mod profile;
 pub mod warp;
 
 mod device;
+mod error;
 
 pub use device::{Gpu, KernelStats};
+pub use error::SimError;
+pub use fault::{FaultPlan, FaultRng};
 pub use lanes::{Lanes, Mask, LANES};
 pub use mem::DevicePtr;
 pub use profile::DeviceProfile;

@@ -73,14 +73,22 @@ impl GlobalMemory {
     /// Raw word read with bounds check.
     #[inline]
     pub fn read(&self, ptr: DevicePtr, idx: usize) -> u32 {
-        assert!(idx < ptr.len, "device read OOB: idx {idx} >= len {}", ptr.len);
+        assert!(
+            idx < ptr.len,
+            "device read OOB: idx {idx} >= len {}",
+            ptr.len
+        );
         self.words[ptr.base as usize + idx]
     }
 
     /// Raw word write with bounds check.
     #[inline]
     pub fn write(&mut self, ptr: DevicePtr, idx: usize, v: u32) {
-        assert!(idx < ptr.len, "device write OOB: idx {idx} >= len {}", ptr.len);
+        assert!(
+            idx < ptr.len,
+            "device write OOB: idx {idx} >= len {}",
+            ptr.len
+        );
         self.words[ptr.base as usize + idx] = v;
     }
 

@@ -66,7 +66,7 @@ impl<'a> WarpCtx<'a> {
     /// Charges `n` warp ALU instructions.
     #[inline]
     pub fn alu(&mut self, n: u64) {
-        self.gpu.sm_cycles[self.sm] += n * self.gpu.profile.alu_cycles;
+        self.gpu.charge(self.sm, n * self.gpu.profile.alu_cycles);
         self.gpu.cur.instructions += n;
     }
 
@@ -95,7 +95,9 @@ impl<'a> WarpCtx<'a> {
         }
         self.issue_transactions(ptr, idx, mask, true);
         for lane in mask.iter() {
-            self.gpu.mem.write(ptr, idx.get(lane) as usize, vals.get(lane));
+            self.gpu
+                .mem
+                .write(ptr, idx.get(lane) as usize, vals.get(lane));
         }
         self.gpu.cur.instructions += 1;
     }
@@ -121,12 +123,27 @@ impl<'a> WarpCtx<'a> {
         mask: Mask,
     ) -> Lanes {
         let mut out = Lanes::default();
+        let cas_fault = self.gpu.fault.cas_spurious_permille;
         for lane in mask.iter() {
             let i = idx.get(lane) as usize;
             let old = self.gpu.mem.read(ptr, i);
-            out.set(lane, old);
             if old == cmp.get(lane) {
                 self.gpu.mem.write(ptr, i, new.get(lane));
+                // Spurious-contention injection: the update lands, but the
+                // lane observes the post-write value — the exact state it
+                // would see had an identical-intent competitor won the race
+                // one atomic earlier. Memory and the returned "old" value
+                // stay mutually consistent, and the caller's retry path runs.
+                if cas_fault > 0
+                    && new.get(lane) != cmp.get(lane)
+                    && self.gpu.fault_rng.chance(cas_fault)
+                {
+                    out.set(lane, new.get(lane));
+                } else {
+                    out.set(lane, old);
+                }
+            } else {
+                out.set(lane, old);
             }
             self.charge_atomic(ptr, idx.get(lane));
         }
@@ -221,8 +238,22 @@ impl<'a> WarpCtx<'a> {
             self.gpu.cur.dram += 1;
         }
         let _ = self.gpu.l2.access(addr, true);
-        self.gpu.sm_cycles[self.sm] += self.gpu.profile.atomic_cycles;
+        let mut cost = self.gpu.profile.atomic_cycles;
+        cost += self.injected_delay();
+        self.gpu.charge(self.sm, cost);
         self.gpu.cur.atomics += 1;
+    }
+
+    /// Extra cycles for this transaction under a memory-delay fault plan
+    /// (0 when the plan injects no delays).
+    #[inline]
+    fn injected_delay(&mut self) -> u64 {
+        let p = self.gpu.fault.mem_delay_permille;
+        if p > 0 && self.gpu.fault_rng.chance(p) {
+            self.gpu.fault.mem_delay_cycles
+        } else {
+            0
+        }
     }
 
     /// Runs the coalescer for one warp memory instruction and charges the
@@ -248,19 +279,21 @@ impl<'a> WarpCtx<'a> {
             match l1.access(addr, is_write) {
                 Lookup::Hit => {
                     self.gpu.cur.l1_hits += 1;
-                    self.gpu.sm_cycles[self.sm] += prof_l1;
+                    let cost = prof_l1 + self.injected_delay();
+                    self.gpu.charge(self.sm, cost);
                 }
                 Lookup::Miss { evicted_dirty } => {
                     // Fill from L2 (write-allocate: stores also fill).
                     let l2r = self.gpu.l2.access(addr, false);
-                    let cost = match l2r {
+                    let mut cost = match l2r {
                         Lookup::Hit => prof_l2,
                         Lookup::Miss { .. } => {
                             self.gpu.cur.dram += 1;
                             prof_dram
                         }
                     };
-                    self.gpu.sm_cycles[self.sm] += cost;
+                    cost += self.injected_delay();
+                    self.gpu.charge(self.sm, cost);
                     // Dirty sectors evicted from L1 are L2 write accesses.
                     for _ in 0..evicted_dirty {
                         let _ = self.gpu.l2.access(addr, true);

@@ -1,27 +1,28 @@
 //! Property tests for the SIMT simulator: functional correctness of the
 //! memory system under random access patterns, conservation laws of the
 //! cache counters, and Lanes/Mask algebra.
+//!
+//! Randomized inputs come from the workspace's own deterministic PCG32
+//! stream (fixed seeds), so the suite is hermetic and exactly
+//! reproducible — no external property-testing framework required.
 
 use ecl_gpu_sim::{cache::Cache, DeviceProfile, Gpu, Lanes, Mask, LANES};
-use proptest::prelude::*;
+use ecl_graph::generate::Pcg32;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn gather_scatter_functional(
-        data in proptest::collection::vec(any::<u32>(), 32..256),
-        idx in proptest::collection::vec(0usize..32, 32),
-    ) {
-        // A gather of arbitrary in-range indices must return exactly the
-        // backing data regardless of cache state.
+#[test]
+fn gather_scatter_functional() {
+    // A gather of arbitrary in-range indices must return exactly the
+    // backing data regardless of cache state.
+    for case in 0..64u64 {
+        let mut rng = Pcg32::new(0x6a77 + case);
+        let n = 32 + rng.below(224) as usize;
+        let data: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
         let mut gpu = Gpu::new(DeviceProfile::test_tiny());
         let buf = gpu.alloc_from(&data);
-        let n = data.len();
         let idx_lanes = {
             let mut l = Lanes::default();
-            for (i, &v) in idx.iter().enumerate() {
-                l.set(i, (v % n) as u32);
+            for i in 0..LANES {
+                l.set(i, rng.below(n as u32));
             }
             l
         };
@@ -33,11 +34,16 @@ proptest! {
             }
         });
     }
+}
 
-    #[test]
-    fn cache_counters_conserve(
-        accesses in proptest::collection::vec((0u64..4096, any::<bool>()), 1..500),
-    ) {
+#[test]
+fn cache_counters_conserve() {
+    for case in 0..64u64 {
+        let mut rng = Pcg32::new(0xcace + case);
+        let len = 1 + rng.below(499) as usize;
+        let accesses: Vec<(u64, bool)> = (0..len)
+            .map(|_| (rng.below(4096) as u64, rng.below(2) == 1))
+            .collect();
         let mut c = Cache::new(1024, 2, 128, 32);
         for &(addr, wr) in &accesses {
             c.access(addr * 4, wr);
@@ -45,29 +51,37 @@ proptest! {
         let s = c.stats();
         let reads = accesses.iter().filter(|&&(_, wr)| !wr).count() as u64;
         let writes = accesses.len() as u64 - reads;
-        prop_assert_eq!(s.read_accesses, reads);
-        prop_assert_eq!(s.write_accesses, writes);
-        prop_assert!(s.read_hits <= s.read_accesses);
-        prop_assert!(s.write_hits <= s.write_accesses);
+        assert_eq!(s.read_accesses, reads);
+        assert_eq!(s.write_accesses, writes);
+        assert!(s.read_hits <= s.read_accesses);
+        assert!(s.write_hits <= s.write_accesses);
         // Write-backs can never exceed total write accesses (each dirty
         // sector was dirtied by at least one write).
-        prop_assert!(s.writebacks <= s.write_accesses);
+        assert!(s.writebacks <= s.write_accesses);
     }
+}
 
-    #[test]
-    fn repeat_access_always_hits(addr in 0u64..100_000) {
+#[test]
+fn repeat_access_always_hits() {
+    let mut rng = Pcg32::new(0x217);
+    for _ in 0..64 {
+        let addr = rng.below(100_000) as u64;
         let mut c = Cache::new(4096, 4, 128, 32);
         c.access(addr, false);
-        prop_assert_eq!(c.access(addr, false), ecl_gpu_sim::cache::Lookup::Hit);
-        prop_assert_eq!(c.access(addr, true), ecl_gpu_sim::cache::Lookup::Hit);
+        assert_eq!(c.access(addr, false), ecl_gpu_sim::cache::Lookup::Hit);
+        assert_eq!(c.access(addr, true), ecl_gpu_sim::cache::Lookup::Hit);
     }
+}
 
-    #[test]
-    fn atomics_linearize_adds(vals in proptest::collection::vec(1u32..100, 1..64)) {
-        // Sum via atomicAdd from many warps equals the serial sum.
+#[test]
+fn atomics_linearize_adds() {
+    // Sum via atomicAdd from many warps equals the serial sum.
+    for case in 0..64u64 {
+        let mut rng = Pcg32::new(0xadd + case);
+        let n = 1 + rng.below(63) as usize;
+        let vals: Vec<u32> = (0..n).map(|_| 1 + rng.below(99)).collect();
         let mut gpu = Gpu::new(DeviceProfile::test_tiny());
         let ctr = gpu.alloc(1);
-        let n = vals.len();
         let dev_vals = gpu.alloc_from(&vals);
         gpu.launch_warps("sum", n.div_ceil(LANES) * LANES, |w| {
             let tid = w.thread_ids();
@@ -78,47 +92,61 @@ proptest! {
             let v = w.load(dev_vals, &tid, m);
             let _ = w.atomic_add(ctr, &Lanes::splat(0), &v, m);
         });
-        prop_assert_eq!(gpu.download(ctr)[0], vals.iter().sum::<u32>());
+        assert_eq!(gpu.download(ctr)[0], vals.iter().sum::<u32>());
     }
+}
 
-    #[test]
-    fn mask_algebra(a in any::<u32>(), b in any::<u32>()) {
-        let (ma, mb) = (Mask(a), Mask(b));
-        prop_assert_eq!((ma & mb).count() + (ma | mb).count(), ma.count() + mb.count());
-        prop_assert_eq!(!(!ma) , ma);
-        prop_assert_eq!((ma & !ma), Mask::NONE);
-        prop_assert_eq!(ma.iter().count(), ma.count());
+#[test]
+fn mask_algebra() {
+    let mut rng = Pcg32::new(0x3a5c);
+    for _ in 0..256 {
+        let (ma, mb) = (Mask(rng.next_u32()), Mask(rng.next_u32()));
+        assert_eq!(
+            (ma & mb).count() + (ma | mb).count(),
+            ma.count() + mb.count()
+        );
+        assert_eq!(!(!ma), ma);
+        assert_eq!(ma & !ma, Mask::NONE);
+        assert_eq!(ma.iter().count(), ma.count());
     }
+}
 
-    #[test]
-    fn lanes_select_partitions(vals in any::<u32>(), mask_bits in any::<u32>()) {
+#[test]
+fn lanes_select_partitions() {
+    let mut rng = Pcg32::new(0x5e1);
+    for _ in 0..256 {
+        let vals = rng.next_u32();
+        let m = Mask(rng.next_u32());
         let a = Lanes::splat(vals);
         let b = Lanes::iota(0, 1);
-        let m = Mask(mask_bits);
         let s = a.select(&b, m);
         for lane in 0..LANES {
             if m.lane(lane) {
-                prop_assert_eq!(s.get(lane), vals);
+                assert_eq!(s.get(lane), vals);
             } else {
-                prop_assert_eq!(s.get(lane), lane as u32);
+                assert_eq!(s.get(lane), lane as u32);
             }
         }
     }
+}
 
-    #[test]
-    fn simulated_cycles_deterministic(seed in any::<u64>()) {
-        // Any fixed access pattern must cost identical cycles on two runs.
-        let run = |seed: u64| -> u64 {
-            let mut gpu = Gpu::new(DeviceProfile::test_tiny());
-            let buf = gpu.alloc(4096);
-            gpu.launch_warps("k", 256, |w| {
-                let tid = w.thread_ids();
-                let idx = tid.map(|t| (t.wrapping_mul(seed as u32 | 1)) % 4096);
-                let v = w.load(buf, &idx, w.launch_mask());
-                w.store(buf, &idx, &v, w.launch_mask());
-            });
-            gpu.total_cycles()
-        };
-        prop_assert_eq!(run(seed), run(seed));
+#[test]
+fn simulated_cycles_deterministic() {
+    // Any fixed access pattern must cost identical cycles on two runs.
+    let run = |seed: u64| -> u64 {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        let buf = gpu.alloc(4096);
+        gpu.launch_warps("k", 256, |w| {
+            let tid = w.thread_ids();
+            let idx = tid.map(|t| (t.wrapping_mul(seed as u32 | 1)) % 4096);
+            let v = w.load(buf, &idx, w.launch_mask());
+            w.store(buf, &idx, &v, w.launch_mask());
+        });
+        gpu.total_cycles()
+    };
+    let mut rng = Pcg32::new(0xde7);
+    for _ in 0..32 {
+        let seed = rng.next_u64();
+        assert_eq!(run(seed), run(seed));
     }
 }

@@ -52,10 +52,7 @@ impl GraphBuilder {
     /// Self-loops are silently dropped at build time.
     #[inline]
     pub fn add_edge(&mut self, u: Vertex, v: Vertex) {
-        self.num_vertices = self
-            .num_vertices
-            .max(u as usize + 1)
-            .max(v as usize + 1);
+        self.num_vertices = self.num_vertices.max(u as usize + 1).max(v as usize + 1);
         self.edges.push(if u <= v { (u, v) } else { (v, u) });
     }
 

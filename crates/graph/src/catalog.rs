@@ -109,24 +109,150 @@ impl PaperGraph {
     pub fn info(self) -> PaperGraphInfo {
         use PaperGraph::*;
         match self {
-            Grid2d => PaperGraphInfo { name: "2d-2e20.sym", class: "grid", paper_vertices: 1_048_576, paper_edges: 4_190_208, paper_davg: 4.0, paper_ccs: 1 },
-            Amazon => PaperGraphInfo { name: "amazon0601", class: "co-purchases", paper_vertices: 403_394, paper_edges: 4_886_816, paper_davg: 12.1, paper_ccs: 7 },
-            AsSkitter => PaperGraphInfo { name: "as-skitter", class: "Int. topology", paper_vertices: 1_696_415, paper_edges: 22_190_596, paper_davg: 13.1, paper_ccs: 756 },
-            CitationCiteseer => PaperGraphInfo { name: "citationCiteseer", class: "pub. citations", paper_vertices: 268_495, paper_edges: 2_313_294, paper_davg: 8.6, paper_ccs: 1 },
-            CitPatents => PaperGraphInfo { name: "cit-Patents", class: "pat. citations", paper_vertices: 3_774_768, paper_edges: 33_037_894, paper_davg: 8.8, paper_ccs: 3_627 },
-            CoPapersDblp => PaperGraphInfo { name: "coPapersDBLP", class: "pub. citations", paper_vertices: 540_486, paper_edges: 30_491_458, paper_davg: 56.4, paper_ccs: 1 },
-            Delaunay => PaperGraphInfo { name: "delaunay_n24", class: "triangulation", paper_vertices: 16_777_216, paper_edges: 100_663_202, paper_davg: 6.0, paper_ccs: 1 },
-            EuropeOsm => PaperGraphInfo { name: "europe_osm", class: "road map", paper_vertices: 50_912_018, paper_edges: 108_109_320, paper_davg: 2.1, paper_ccs: 1 },
-            In2004 => PaperGraphInfo { name: "in-2004", class: "web links", paper_vertices: 1_382_908, paper_edges: 27_182_946, paper_davg: 19.7, paper_ccs: 134 },
-            Internet => PaperGraphInfo { name: "internet", class: "Int. topology", paper_vertices: 124_651, paper_edges: 387_240, paper_davg: 3.1, paper_ccs: 1 },
-            Kron21 => PaperGraphInfo { name: "kron_g500-logn21", class: "Kronecker", paper_vertices: 2_097_152, paper_edges: 182_081_864, paper_davg: 86.8, paper_ccs: 553_159 },
-            Random4 => PaperGraphInfo { name: "r4-2e23.sym", class: "random", paper_vertices: 8_388_608, paper_edges: 67_108_846, paper_davg: 8.0, paper_ccs: 1 },
-            Rmat16 => PaperGraphInfo { name: "rmat16.sym", class: "RMAT", paper_vertices: 65_536, paper_edges: 967_866, paper_davg: 14.8, paper_ccs: 3_900 },
-            Rmat22 => PaperGraphInfo { name: "rmat22.sym", class: "RMAT", paper_vertices: 4_194_304, paper_edges: 65_660_814, paper_davg: 15.7, paper_ccs: 428_640 },
-            SocLivejournal => PaperGraphInfo { name: "soc-LiveJournal1", class: "j. community", paper_vertices: 4_847_571, paper_edges: 85_702_474, paper_davg: 17.7, paper_ccs: 1_876 },
-            Uk2002 => PaperGraphInfo { name: "uk-2002", class: "web links", paper_vertices: 18_520_486, paper_edges: 523_574_516, paper_davg: 28.3, paper_ccs: 38_359 },
-            UsaRoadNy => PaperGraphInfo { name: "USA-road-d.NY", class: "road map", paper_vertices: 264_346, paper_edges: 730_100, paper_davg: 2.8, paper_ccs: 1 },
-            UsaRoadUsa => PaperGraphInfo { name: "USA-road-d.USA", class: "road map", paper_vertices: 23_947_347, paper_edges: 57_708_624, paper_davg: 2.4, paper_ccs: 1 },
+            Grid2d => PaperGraphInfo {
+                name: "2d-2e20.sym",
+                class: "grid",
+                paper_vertices: 1_048_576,
+                paper_edges: 4_190_208,
+                paper_davg: 4.0,
+                paper_ccs: 1,
+            },
+            Amazon => PaperGraphInfo {
+                name: "amazon0601",
+                class: "co-purchases",
+                paper_vertices: 403_394,
+                paper_edges: 4_886_816,
+                paper_davg: 12.1,
+                paper_ccs: 7,
+            },
+            AsSkitter => PaperGraphInfo {
+                name: "as-skitter",
+                class: "Int. topology",
+                paper_vertices: 1_696_415,
+                paper_edges: 22_190_596,
+                paper_davg: 13.1,
+                paper_ccs: 756,
+            },
+            CitationCiteseer => PaperGraphInfo {
+                name: "citationCiteseer",
+                class: "pub. citations",
+                paper_vertices: 268_495,
+                paper_edges: 2_313_294,
+                paper_davg: 8.6,
+                paper_ccs: 1,
+            },
+            CitPatents => PaperGraphInfo {
+                name: "cit-Patents",
+                class: "pat. citations",
+                paper_vertices: 3_774_768,
+                paper_edges: 33_037_894,
+                paper_davg: 8.8,
+                paper_ccs: 3_627,
+            },
+            CoPapersDblp => PaperGraphInfo {
+                name: "coPapersDBLP",
+                class: "pub. citations",
+                paper_vertices: 540_486,
+                paper_edges: 30_491_458,
+                paper_davg: 56.4,
+                paper_ccs: 1,
+            },
+            Delaunay => PaperGraphInfo {
+                name: "delaunay_n24",
+                class: "triangulation",
+                paper_vertices: 16_777_216,
+                paper_edges: 100_663_202,
+                paper_davg: 6.0,
+                paper_ccs: 1,
+            },
+            EuropeOsm => PaperGraphInfo {
+                name: "europe_osm",
+                class: "road map",
+                paper_vertices: 50_912_018,
+                paper_edges: 108_109_320,
+                paper_davg: 2.1,
+                paper_ccs: 1,
+            },
+            In2004 => PaperGraphInfo {
+                name: "in-2004",
+                class: "web links",
+                paper_vertices: 1_382_908,
+                paper_edges: 27_182_946,
+                paper_davg: 19.7,
+                paper_ccs: 134,
+            },
+            Internet => PaperGraphInfo {
+                name: "internet",
+                class: "Int. topology",
+                paper_vertices: 124_651,
+                paper_edges: 387_240,
+                paper_davg: 3.1,
+                paper_ccs: 1,
+            },
+            Kron21 => PaperGraphInfo {
+                name: "kron_g500-logn21",
+                class: "Kronecker",
+                paper_vertices: 2_097_152,
+                paper_edges: 182_081_864,
+                paper_davg: 86.8,
+                paper_ccs: 553_159,
+            },
+            Random4 => PaperGraphInfo {
+                name: "r4-2e23.sym",
+                class: "random",
+                paper_vertices: 8_388_608,
+                paper_edges: 67_108_846,
+                paper_davg: 8.0,
+                paper_ccs: 1,
+            },
+            Rmat16 => PaperGraphInfo {
+                name: "rmat16.sym",
+                class: "RMAT",
+                paper_vertices: 65_536,
+                paper_edges: 967_866,
+                paper_davg: 14.8,
+                paper_ccs: 3_900,
+            },
+            Rmat22 => PaperGraphInfo {
+                name: "rmat22.sym",
+                class: "RMAT",
+                paper_vertices: 4_194_304,
+                paper_edges: 65_660_814,
+                paper_davg: 15.7,
+                paper_ccs: 428_640,
+            },
+            SocLivejournal => PaperGraphInfo {
+                name: "soc-LiveJournal1",
+                class: "j. community",
+                paper_vertices: 4_847_571,
+                paper_edges: 85_702_474,
+                paper_davg: 17.7,
+                paper_ccs: 1_876,
+            },
+            Uk2002 => PaperGraphInfo {
+                name: "uk-2002",
+                class: "web links",
+                paper_vertices: 18_520_486,
+                paper_edges: 523_574_516,
+                paper_davg: 28.3,
+                paper_ccs: 38_359,
+            },
+            UsaRoadNy => PaperGraphInfo {
+                name: "USA-road-d.NY",
+                class: "road map",
+                paper_vertices: 264_346,
+                paper_edges: 730_100,
+                paper_davg: 2.8,
+                paper_ccs: 1,
+            },
+            UsaRoadUsa => PaperGraphInfo {
+                name: "USA-road-d.USA",
+                class: "road map",
+                paper_vertices: 23_947_347,
+                paper_edges: 57_708_624,
+                paper_davg: 2.4,
+                paper_ccs: 1,
+            },
         }
     }
 

@@ -152,13 +152,20 @@ mod tests {
     #[test]
     fn citation_graph_shape() {
         let g = citation_graph(2000, 5, 0.3, 3);
-        assert!(g.avg_degree() > 6.0 && g.avg_degree() < 11.0, "{}", g.avg_degree());
+        assert!(
+            g.avg_degree() > 6.0 && g.avg_degree() < 11.0,
+            "{}",
+            g.avg_degree()
+        );
         // Moderate, not extreme, skew.
         assert!(g.max_degree() < 500);
     }
 
     #[test]
     fn citation_deterministic() {
-        assert_eq!(citation_graph(500, 4, 0.5, 7), citation_graph(500, 4, 0.5, 7));
+        assert_eq!(
+            citation_graph(500, 4, 0.5, 7),
+            citation_graph(500, 4, 0.5, 7)
+        );
     }
 }

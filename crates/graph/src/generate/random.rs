@@ -10,7 +10,10 @@ use crate::{CsrGraph, GraphBuilder, Vertex};
 /// until `m` distinct non-loop edges exist; for the sparse graphs used here
 /// (`m ≪ n²/2`) the retry rate is negligible.
 pub fn gnm_random(n: usize, m: usize, seed: u64) -> CsrGraph {
-    assert!(n >= 2 || m == 0, "cannot place edges with fewer than 2 vertices");
+    assert!(
+        n >= 2 || m == 0,
+        "cannot place edges with fewer than 2 vertices"
+    );
     let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
     assert!(m <= max_m, "requested {m} edges but only {max_m} possible");
     let mut rng = Pcg32::new(seed);

@@ -106,7 +106,11 @@ mod tests {
         let g = rmat(10, 8, RmatParams::GALOIS, 1);
         assert_eq!(g.num_vertices(), 1024);
         // Duplicates collapse: expect fewer than 8192 but the bulk kept.
-        assert!(g.num_edges() > 4000 && g.num_edges() <= 8192, "{}", g.num_edges());
+        assert!(
+            g.num_edges() > 4000 && g.num_edges() <= 8192,
+            "{}",
+            g.num_edges()
+        );
     }
 
     #[test]
@@ -139,6 +143,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn bad_params_panic() {
-        rmat(4, 1, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0 }, 1);
+        rmat(
+            4,
+            1,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.0,
+                d: 0.0,
+            },
+            1,
+        );
     }
 }

@@ -40,6 +40,41 @@ fn parse_err(msg: impl Into<String>) -> IoError {
     IoError::Parse(msg.into())
 }
 
+/// Ceiling on preallocation driven by *untrusted* header fields. A tiny
+/// file can declare a huge element count; allocating it up front would be
+/// an OOM denial-of-service. Within the cap we preallocate for speed;
+/// beyond it the `Vec`s grow as actual data arrives, so a lying header
+/// fails with a truncation error instead of exhausting memory.
+const MAX_TRUSTED_PREALLOC: usize = 1 << 20;
+
+fn capped(declared: usize) -> usize {
+    declared.min(MAX_TRUSTED_PREALLOC)
+}
+
+/// Ceiling on the vertex count a *text* header may declare. Unlike edge
+/// counts (covered by [`MAX_TRUSTED_PREALLOC`] — the `Vec`s grow only as
+/// actual data arrives), a declared vertex count flows into the O(n) CSR
+/// offset array even when no arc ever references those vertices, so a
+/// 20-byte file claiming 4 billion vertices would allocate tens of GB.
+/// The binary formats are self-limiting (a lying header trips the
+/// truncation check first); for DIMACS and Matrix Market we refuse
+/// declarations past this bound — 2^28 ≈ 268M vertices, ~5× the largest
+/// graph in the paper's evaluation.
+const MAX_DECLARED_VERTICES: usize = 1 << 28;
+
+fn check_declared_vertices(n: usize, what: &str) -> Result<(), IoError> {
+    if n >= Vertex::MAX as usize {
+        return Err(parse_err(format!("declared {what} {n} exceeds 32-bit IDs")));
+    }
+    if n > MAX_DECLARED_VERTICES {
+        return Err(parse_err(format!(
+            "declared {what} {n} exceeds the reader limit {MAX_DECLARED_VERTICES}; \
+             refusing header-driven allocation"
+        )));
+    }
+    Ok(())
+}
+
 /// Reads a whitespace-separated edge list (SNAP style): one `u v` pair per
 /// line, `#`-prefixed comment lines ignored. Vertex IDs are used as-is.
 pub fn read_edge_list(r: impl Read) -> Result<CsrGraph, IoError> {
@@ -88,6 +123,12 @@ pub fn read_dimacs(r: impl Read) -> Result<CsrGraph, IoError> {
             continue;
         }
         if let Some(rest) = t.strip_prefix("p ") {
+            if declared_n.is_some() {
+                return Err(parse_err(format!(
+                    "line {}: duplicate problem line",
+                    lineno + 1
+                )));
+            }
             let mut it = rest.split_whitespace();
             let _kind = it.next();
             let n: usize = it
@@ -95,9 +136,16 @@ pub fn read_dimacs(r: impl Read) -> Result<CsrGraph, IoError> {
                 .ok_or_else(|| parse_err("problem line missing n"))?
                 .parse()
                 .map_err(|e| parse_err(format!("problem line: {e}")))?;
+            check_declared_vertices(n, "vertex count")?;
             declared_n = Some(n);
             b.ensure_vertices(n);
         } else if let Some(rest) = t.strip_prefix("a ") {
+            if declared_n.is_none() {
+                return Err(parse_err(format!(
+                    "line {}: arc before the problem line (missing `p` header?)",
+                    lineno + 1
+                )));
+            }
             let mut it = rest.split_whitespace();
             let u: Vertex = it
                 .next()
@@ -110,11 +158,17 @@ pub fn read_dimacs(r: impl Read) -> Result<CsrGraph, IoError> {
                 .parse()
                 .map_err(|e| parse_err(format!("line {}: {e}", lineno + 1)))?;
             if u == 0 || v == 0 {
-                return Err(parse_err(format!("line {}: DIMACS vertices are 1-indexed", lineno + 1)));
+                return Err(parse_err(format!(
+                    "line {}: DIMACS vertices are 1-indexed",
+                    lineno + 1
+                )));
             }
             b.add_edge(u - 1, v - 1);
         } else {
-            return Err(parse_err(format!("line {}: unrecognized record '{t}'", lineno + 1)));
+            return Err(parse_err(format!(
+                "line {}: unrecognized record '{t}'",
+                lineno + 1
+            )));
         }
     }
     if let Some(n) = declared_n {
@@ -134,9 +188,7 @@ pub fn read_dimacs(r: impl Read) -> Result<CsrGraph, IoError> {
 pub fn read_matrix_market(r: impl Read) -> Result<CsrGraph, IoError> {
     let reader = BufReader::new(r);
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     if !header.starts_with("%%MatrixMarket") {
         return Err(parse_err("missing %%MatrixMarket header"));
     }
@@ -160,15 +212,27 @@ pub fn read_matrix_market(r: impl Read) -> Result<CsrGraph, IoError> {
         return Err(parse_err("size line must have rows cols nnz"));
     }
     if dims[0] != dims[1] {
-        return Err(parse_err(format!("matrix must be square, got {}x{}", dims[0], dims[1])));
+        return Err(parse_err(format!(
+            "matrix must be square, got {}x{}",
+            dims[0], dims[1]
+        )));
     }
-    let mut b = GraphBuilder::with_capacity(dims[0], dims[2]);
+    check_declared_vertices(dims[0], "dimension")?;
+    let mut b = GraphBuilder::with_capacity(capped(dims[0]), capped(dims[2]));
     b.ensure_vertices(dims[0]);
+    let mut entries = 0usize;
     for (lineno, line) in lines.enumerate() {
         let line = line?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
+        }
+        entries += 1;
+        if entries > dims[2] {
+            return Err(parse_err(format!(
+                "more entries than the declared nnz {}",
+                dims[2]
+            )));
         }
         let mut it = t.split_whitespace();
         let i: Vertex = it
@@ -183,6 +247,12 @@ pub fn read_matrix_market(r: impl Read) -> Result<CsrGraph, IoError> {
             .map_err(|e| parse_err(format!("entry {}: {e}", lineno + 1)))?;
         if i == 0 || j == 0 {
             return Err(parse_err("Matrix Market entries are 1-indexed"));
+        }
+        if i as usize > dims[0] || j as usize > dims[0] {
+            return Err(parse_err(format!(
+                "entry ({i}, {j}) outside the declared {0}x{0} matrix",
+                dims[0]
+            )));
         }
         b.add_edge(i - 1, j - 1);
     }
@@ -206,9 +276,15 @@ pub fn read_galois_gr(mut r: impl Read) -> Result<CsrGraph, IoError> {
         return Err(parse_err(format!("unsupported .gr version {version}")));
     }
     let _edge_data_size = read_u64(&mut r)?;
-    let n = read_u64(&mut r)? as usize;
-    let m = read_u64(&mut r)? as usize;
-    let mut offsets = Vec::with_capacity(n + 1);
+    let n64 = read_u64(&mut r)?;
+    let m64 = read_u64(&mut r)?;
+    if n64 >= u64::from(Vertex::MAX) || m64 >= u64::from(Vertex::MAX) {
+        return Err(parse_err(format!(
+            "header declares {n64} nodes / {m64} edges; exceeds 32-bit IDs"
+        )));
+    }
+    let (n, m) = (n64 as usize, m64 as usize);
+    let mut offsets = Vec::with_capacity(capped(n + 1));
     offsets.push(0usize);
     let mut prev = 0u64;
     for i in 0..n {
@@ -225,7 +301,7 @@ pub fn read_galois_gr(mut r: impl Read) -> Result<CsrGraph, IoError> {
             offsets[n]
         )));
     }
-    let mut dests = Vec::with_capacity(m);
+    let mut dests = Vec::with_capacity(capped(m));
     let mut u32buf = [0u8; 4];
     for _ in 0..m {
         r.read_exact(&mut u32buf)?;
@@ -233,7 +309,7 @@ pub fn read_galois_gr(mut r: impl Read) -> Result<CsrGraph, IoError> {
     }
     // Normalize through the builder: .gr files are directed and may have
     // loops/duplicates; the paper symmetrizes and cleans them (§4).
-    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut b = GraphBuilder::with_capacity(capped(n), capped(m));
     b.ensure_vertices(n);
     for v in 0..n {
         for &u in &dests[offsets[v]..offsets[v + 1]] {
@@ -294,15 +370,21 @@ pub fn read_binary(mut r: impl Read) -> Result<CsrGraph, IoError> {
     }
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
-    let n = u64::from_le_bytes(buf8) as usize;
+    let n64 = u64::from_le_bytes(buf8);
     r.read_exact(&mut buf8)?;
-    let dm = u64::from_le_bytes(buf8) as usize;
-    let mut offsets = Vec::with_capacity(n + 1);
+    let dm64 = u64::from_le_bytes(buf8);
+    if n64 >= u64::from(Vertex::MAX) || dm64 >= u64::from(Vertex::MAX) {
+        return Err(parse_err(format!(
+            "header declares {n64} vertices / {dm64} directed edges; exceeds 32-bit IDs"
+        )));
+    }
+    let (n, dm) = (n64 as usize, dm64 as usize);
+    let mut offsets = Vec::with_capacity(capped(n + 1));
     for _ in 0..=n {
         r.read_exact(&mut buf8)?;
         offsets.push(u64::from_le_bytes(buf8) as usize);
     }
-    let mut adj = Vec::with_capacity(dm);
+    let mut adj = Vec::with_capacity(capped(dm));
     let mut buf4 = [0u8; 4];
     for _ in 0..dm {
         r.read_exact(&mut buf4)?;
@@ -365,7 +447,8 @@ mod tests {
 
     #[test]
     fn matrix_market_basic() {
-        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n% c\n3 3 3\n1 2\n2 3\n3 3\n";
+        let text =
+            "%%MatrixMarket matrix coordinate pattern symmetric\n% c\n3 3 3\n1 2\n2 3\n3 3\n";
         let g = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 2); // diagonal entry (self loop) dropped
@@ -447,5 +530,188 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(matches!(read_binary(&buf[..]), Err(IoError::Io(_))));
+    }
+
+    // ------------------------------------------------------------------
+    // Malformed-input battery: every case must return IoError — never
+    // panic, never attempt a header-sized allocation.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn edge_list_vertex_id_overflow() {
+        // 2^32 does not fit a u32 vertex ID.
+        let e = read_edge_list("0 4294967296\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn edge_list_negative_and_garbage_tokens() {
+        for bad in ["-1 2\n", "0 -2\n", "1e3 4\n", "0x10 1\n", "∞ 1\n"] {
+            let e = read_edge_list(bad.as_bytes()).unwrap_err();
+            assert!(matches!(e, IoError::Parse(_)), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn edge_list_missing_target() {
+        let e = read_edge_list("7\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn dimacs_rejects_duplicate_problem_line() {
+        let text = "p sp 3 1\np sp 3 1\na 1 2 1\n";
+        let e = read_dimacs(text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(e, IoError::Parse(ref m) if m.contains("duplicate")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn dimacs_rejects_arc_before_header() {
+        let e = read_dimacs("a 1 2 1\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(e, IoError::Parse(ref m) if m.contains("problem line")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn dimacs_rejects_oversized_declaration() {
+        // Declares 2^32 vertices: cannot be indexed by u32, and must not
+        // be allocated either.
+        let e = read_dimacs("p sp 4294967296 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn dimacs_rejects_huge_vertex_declaration_no_oom() {
+        // 4e9 fits in u32 but would drive a ~32 GB CSR offset allocation
+        // off a 20-byte file; the declared-vertex ceiling refuses it.
+        let e = read_dimacs("p sp 4000000000 5\n".as_bytes()).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("reader limit"), "got: {msg}");
+    }
+
+    #[test]
+    fn matrix_market_rejects_huge_dimension_no_oom() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    4000000000 4000000000 1\n1 2\n";
+        let e = read_matrix_market(text.as_bytes()).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("reader limit"), "got: {msg}");
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage_tokens() {
+        let e = read_dimacs("p sp 3 1\na one 2 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse(_)));
+        let e = read_dimacs("p sp x 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn matrix_market_missing_header() {
+        let e = read_matrix_market("3 3 1\n1 2\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(e, IoError::Parse(ref m) if m.contains("MatrixMarket")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn matrix_market_empty_and_headerless() {
+        assert!(read_matrix_market("".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_rejects_out_of_range_entry() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n1 9\n";
+        let e = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(e, IoError::Parse(ref m) if m.contains("outside")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn matrix_market_rejects_excess_entries() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n1 2\n2 3\n";
+        let e = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(e, IoError::Parse(ref m) if m.contains("nnz")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn matrix_market_huge_declared_nnz_no_oom() {
+        // The size line promises 10^15 entries; the reader must neither
+        // allocate for them nor crash — the actual data just ends.
+        let text =
+            "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1000000000000000\n1 2\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn galois_gr_truncated_header_and_body() {
+        // Truncated header.
+        assert!(matches!(
+            read_galois_gr(&1u64.to_le_bytes()[..]),
+            Err(IoError::Io(_))
+        ));
+        // Header promises more offsets than the file holds.
+        let mut buf = Vec::new();
+        for v in [1u64, 0, 100, 0] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(matches!(read_galois_gr(&buf[..]), Err(IoError::Io(_))));
+    }
+
+    #[test]
+    fn galois_gr_huge_header_no_oom() {
+        // Claims 2^62 nodes in a 32-byte file: must fail fast, without
+        // attempting the allocation.
+        let mut buf = Vec::new();
+        for v in [1u64, 0, 1u64 << 62, 0] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let e = read_galois_gr(&buf[..]).unwrap_err();
+        assert!(
+            matches!(e, IoError::Parse(ref m) if m.contains("32-bit")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn binary_huge_header_no_oom() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BINARY_MAGIC);
+        buf.extend_from_slice(&(1u64 << 62).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let e = read_binary(&buf[..]).unwrap_err();
+        assert!(
+            matches!(e, IoError::Parse(ref m) if m.contains("32-bit")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn binary_inconsistent_offsets_rejected() {
+        // Valid sizes but offsets that violate CSR invariants: caught by
+        // from_parts validation, as a Parse error.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BINARY_MAGIC);
+        buf.extend_from_slice(&2u64.to_le_bytes()); // n = 2
+        buf.extend_from_slice(&1u64.to_le_bytes()); // dm = 1
+        for o in [0u64, 5, 1] {
+            // non-monotone, out of range
+            buf.extend_from_slice(&o.to_le_bytes());
+        }
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(read_binary(&buf[..]), Err(IoError::Parse(_))));
     }
 }

@@ -170,7 +170,12 @@ mod tests {
                 .map(|(u, v)| (u as i64 - v as i64).unsigned_abs())
                 .sum()
         };
-        assert!(gap(&p) < gap(&g) / 2, "bfs {} vs original {}", gap(&p), gap(&g));
+        assert!(
+            gap(&p) < gap(&g) / 2,
+            "bfs {} vs original {}",
+            gap(&p),
+            gap(&g)
+        );
     }
 
     #[test]

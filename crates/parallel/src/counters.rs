@@ -15,7 +15,9 @@ pub struct WorkCounter {
 impl WorkCounter {
     /// A counter starting at zero.
     pub fn new() -> Self {
-        WorkCounter { next: AtomicUsize::new(0) }
+        WorkCounter {
+            next: AtomicUsize::new(0),
+        }
     }
 
     /// Claims the next `chunk` indices below `limit`; returns the claimed
@@ -111,9 +113,9 @@ mod tests {
         let c = WorkCounter::new();
         let mut seen = vec![false; 1000];
         while let Some((s, e)) = c.claim(7, 1000) {
-            for i in s..e {
-                assert!(!seen[i]);
-                seen[i] = true;
+            for slot in seen.iter_mut().take(e).skip(s) {
+                assert!(!*slot);
+                *slot = true;
             }
         }
         assert!(seen.iter().all(|&x| x));
@@ -139,9 +141,13 @@ mod tests {
     #[test]
     fn double_sided_slots_disjoint() {
         let c = DoubleSidedCursors::new(100);
-        let mut used = vec![false; 100];
+        let mut used = [false; 100];
         for k in 0..100 {
-            let slot = if k % 2 == 0 { c.push_front() } else { c.push_back() };
+            let slot = if k % 2 == 0 {
+                c.push_front()
+            } else {
+                c.push_back()
+            };
             let slot = slot.expect("capacity 100 should fit 100 pushes");
             assert!(!used[slot], "slot {slot} reused");
             used[slot] = true;

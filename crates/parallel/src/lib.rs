@@ -166,8 +166,8 @@ where
         }
         return acc;
     }
-    let slots: Vec<parking_lot::Mutex<Option<T>>> =
-        (0..nthreads).map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..nthreads).map(|_| std::sync::Mutex::new(None)).collect();
     {
         let slots = &slots;
         let fold = &fold;
@@ -181,12 +181,12 @@ where
             for i in start..start + len {
                 acc = fold(acc, i);
             }
-            *slots[tid].lock() = Some(acc);
+            *slots[tid].lock().unwrap() = Some(acc);
         });
     }
     let mut acc = init;
     for slot in slots {
-        if let Some(v) = slot.into_inner() {
+        if let Some(v) = slot.into_inner().unwrap() {
             acc = combine(acc, v);
         }
     }
@@ -284,7 +284,13 @@ mod tests {
     fn reduce_max() {
         let data: Vec<u32> = (0..500).map(|i| (i * 7919) % 1000).collect();
         let data_ref = &data;
-        let m = parallel_reduce(3, data.len(), 0u32, move |a, i| a.max(data_ref[i]), |a, b| a.max(b));
+        let m = parallel_reduce(
+            3,
+            data.len(),
+            0u32,
+            move |a, i| a.max(data_ref[i]),
+            |a, b| a.max(b),
+        );
         assert_eq!(m, *data.iter().max().unwrap());
     }
 
@@ -324,8 +330,8 @@ mod tests {
         parallel_for(8, n, Schedule::Dynamic { chunk: 13 }, |i| {
             out[i].store((i * i) as u64, Ordering::Relaxed);
         });
-        for i in 0..n {
-            assert_eq!(out[i].load(Ordering::Relaxed), (i * i) as u64);
+        for (i, slot) in out.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::Relaxed), (i * i) as u64);
         }
     }
 }

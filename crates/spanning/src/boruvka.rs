@@ -145,7 +145,9 @@ mod tests {
 
     #[test]
     fn empty_and_edgeless() {
-        assert!(run(&ecl_graph::GraphBuilder::new(0).build(), 4).edges.is_empty());
+        assert!(run(&ecl_graph::GraphBuilder::new(0).build(), 4)
+            .edges
+            .is_empty());
         let f = run(&ecl_graph::GraphBuilder::new(5).build(), 4);
         assert!(f.edges.is_empty());
         assert_eq!(f.total_weight, 0);

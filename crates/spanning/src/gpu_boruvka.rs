@@ -33,7 +33,10 @@ pub fn run(gpu: &mut Gpu, g: &CsrGraph, jump: JumpKind) -> Forest {
     let host_edges = weighted_edges(g);
     let m = host_edges.len();
     if n == 0 || m == 0 {
-        return Forest { edges: Vec::new(), total_weight: 0 };
+        return Forest {
+            edges: Vec::new(),
+            total_weight: 0,
+        };
     }
 
     let src = gpu.alloc_from(&host_edges.iter().map(|e| e.0).collect::<Vec<_>>());
@@ -184,7 +187,10 @@ pub fn run(gpu: &mut Gpu, g: &CsrGraph, jump: JumpKind) -> Forest {
         }
     }
     forest.sort_unstable();
-    Forest { edges: forest, total_weight: total }
+    Forest {
+        edges: forest,
+        total_weight: total,
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +223,12 @@ mod tests {
     fn all_jump_variants_agree() {
         let g = generate::gnm_random(150, 400, 6);
         let k = kruskal::run(&g, Compression::Halving);
-        for jump in [JumpKind::Multiple, JumpKind::Single, JumpKind::None, JumpKind::Intermediate] {
+        for jump in [
+            JumpKind::Multiple,
+            JumpKind::Single,
+            JumpKind::None,
+            JumpKind::Intermediate,
+        ] {
             let mut gpu = Gpu::new(DeviceProfile::test_tiny());
             let f = run(&mut gpu, &g, jump);
             f.validate(&g).unwrap();
@@ -228,9 +239,17 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let mut gpu = Gpu::new(DeviceProfile::test_tiny());
-        let f = run(&mut gpu, &ecl_graph::GraphBuilder::new(0).build(), JumpKind::Intermediate);
+        let f = run(
+            &mut gpu,
+            &ecl_graph::GraphBuilder::new(0).build(),
+            JumpKind::Intermediate,
+        );
         assert!(f.edges.is_empty());
-        let f = run(&mut gpu, &ecl_graph::GraphBuilder::new(8).build(), JumpKind::Intermediate);
+        let f = run(
+            &mut gpu,
+            &ecl_graph::GraphBuilder::new(8).build(),
+            JumpKind::Intermediate,
+        );
         assert!(f.edges.is_empty());
     }
 }

@@ -190,7 +190,11 @@ impl AtomicParents {
             if v_rep == u_rep {
                 return (u_rep, false);
             }
-            let (hi, lo) = if v_rep < u_rep { (u_rep, v_rep) } else { (v_rep, u_rep) };
+            let (hi, lo) = if v_rep < u_rep {
+                (u_rep, v_rep)
+            } else {
+                (v_rep, u_rep)
+            };
             match self.parent[hi as usize].compare_exchange(
                 hi,
                 lo,
@@ -277,7 +281,7 @@ mod tests {
     fn hook_retries_on_stale_rep() {
         let p = AtomicParents::new(10);
         p.hook(5, 1); // parent[5] = 1
-        // Caller holds the stale belief that 5 is still a representative.
+                      // Caller holds the stale belief that 5 is still a representative.
         let winner = p.hook(5, 3);
         assert_eq!(winner, 1, "retry must chase 5 -> 1 and hook 3 under 1");
         assert_eq!(p.find_repres(3), 1);

@@ -57,7 +57,10 @@ impl DisjointSets {
     pub fn from_parents(parent: Vec<u32>, compression: Compression) -> Self {
         let n = parent.len() as u32;
         assert!(parent.iter().all(|&p| p < n), "parent out of range");
-        DisjointSets { parent, compression }
+        DisjointSets {
+            parent,
+            compression,
+        }
     }
 
     /// Number of elements.
@@ -249,7 +252,9 @@ mod tests {
     fn strategies_agree_on_partition() {
         // Pseudo-random union sequence; all strategies must induce the
         // same sets.
-        let pairs: Vec<(u32, u32)> = (0..200u32).map(|i| ((i * 7) % 50, (i * 13 + 1) % 50)).collect();
+        let pairs: Vec<(u32, u32)> = (0..200u32)
+            .map(|i| ((i * 7) % 50, (i * 13 + 1) % 50))
+            .collect();
         let mut results = Vec::new();
         for c in all_strategies() {
             let mut ds = DisjointSets::with_compression(50, c);

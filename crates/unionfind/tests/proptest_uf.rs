@@ -1,9 +1,13 @@
 //! Model-based property tests: every union-find variant is checked
 //! against a trivially-correct partition model over random operation
 //! sequences.
+//!
+//! Random sequences come from the workspace's deterministic PCG32 stream
+//! (fixed seeds) so the suite runs hermetically with no external
+//! property-testing framework and is exactly reproducible.
 
+use ecl_graph::generate::Pcg32;
 use ecl_unionfind::{AtomicParents, Compression, DisjointSets};
-use proptest::prelude::*;
 
 /// The reference model: partition kept as a label vector where merging
 /// rewrites all labels (O(n) per union, obviously correct).
@@ -44,41 +48,52 @@ impl Model {
     }
 }
 
-fn ops() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..48).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n as u32, 0..n as u32), 0..120),
-        )
-    })
+/// Random (n, union-pairs) workload, mirroring the old proptest strategy:
+/// 2..48 vertices, 0..120 operations.
+fn ops(rng: &mut Pcg32) -> (usize, Vec<(u32, u32)>) {
+    let n = 2 + rng.below(46) as usize;
+    let len = rng.below(120) as usize;
+    let pairs = (0..len)
+        .map(|_| (rng.below(n as u32), rng.below(n as u32)))
+        .collect();
+    (n, pairs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn sequential_matches_model((n, pairs) in ops()) {
-        for comp in [Compression::None, Compression::Full, Compression::Halving, Compression::Splitting] {
+#[test]
+fn sequential_matches_model() {
+    let mut rng = Pcg32::new(0x5e9);
+    for _ in 0..64 {
+        let (n, pairs) = ops(&mut rng);
+        for comp in [
+            Compression::None,
+            Compression::Full,
+            Compression::Halving,
+            Compression::Splitting,
+        ] {
             let mut ds = DisjointSets::with_compression(n, comp);
             let mut model = Model::new(n);
             for &(a, b) in &pairs {
                 ds.union(a, b);
                 model.union(a, b);
                 // Spot-check connectivity after every operation.
-                prop_assert_eq!(ds.same_set(a, b), model.same(a, b));
+                assert_eq!(ds.same_set(a, b), model.same(a, b));
             }
-            prop_assert_eq!(ds.count_sets(), model.count(), "{:?}", comp);
+            assert_eq!(ds.count_sets(), model.count(), "{comp:?}");
             // After flatten, labels equal component minima.
             ds.flatten();
             for v in 0..n as u32 {
                 let min = (0..n as u32).filter(|&u| model.same(u, v)).min().unwrap();
-                prop_assert_eq!(ds.parents()[v as usize], min);
+                assert_eq!(ds.parents()[v as usize], min);
             }
         }
     }
+}
 
-    #[test]
-    fn concurrent_matches_model((n, pairs) in ops()) {
+#[test]
+fn concurrent_matches_model() {
+    let mut rng = Pcg32::new(0xc0c);
+    for _ in 0..64 {
+        let (n, pairs) = ops(&mut rng);
         let par = AtomicParents::new(n);
         let mut model = Model::new(n);
         // Apply unions from 4 threads (chunked round-robin), model serially
@@ -97,15 +112,19 @@ proptest! {
         for &(a, b) in &pairs {
             model.union(a, b);
         }
-        prop_assert_eq!(par.count_sets(), model.count());
+        assert_eq!(par.count_sets(), model.count());
         for v in 0..n as u32 {
             let min = (0..n as u32).filter(|&u| model.same(u, v)).min().unwrap();
-            prop_assert_eq!(par.find_repres(v), min);
+            assert_eq!(par.find_repres(v), min);
         }
     }
+}
 
-    #[test]
-    fn hook_linked_counts_merges_exactly((n, pairs) in ops()) {
+#[test]
+fn hook_linked_counts_merges_exactly() {
+    let mut rng = Pcg32::new(0x400c);
+    for _ in 0..64 {
+        let (n, pairs) = ops(&mut rng);
         let par = AtomicParents::new(n);
         let mut links = 0usize;
         for &(a, b) in &pairs {
@@ -116,18 +135,27 @@ proptest! {
             }
         }
         // Each link reduces the set count by exactly one.
-        prop_assert_eq!(par.count_sets(), n - links);
+        assert_eq!(par.count_sets(), n - links);
     }
+}
 
-    #[test]
-    fn parent_ids_never_increase((n, pairs) in ops()) {
-        // The decreasing-parent invariant underpinning all the lock-free
-        // correctness arguments.
+#[test]
+fn parent_ids_never_increase() {
+    // The decreasing-parent invariant underpinning all the lock-free
+    // correctness arguments.
+    let mut rng = Pcg32::new(0xdec);
+    for _ in 0..64 {
+        let (n, pairs) = ops(&mut rng);
         let par = AtomicParents::new(n);
         for &(a, b) in &pairs {
             par.unite(a, b);
             for v in 0..n as u32 {
-                prop_assert!(par.parent(v) <= v, "parent[{}] = {} increased", v, par.parent(v));
+                assert!(
+                    par.parent(v) <= v,
+                    "parent[{}] = {} increased",
+                    v,
+                    par.parent(v)
+                );
             }
         }
     }

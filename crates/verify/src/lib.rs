@@ -1,0 +1,566 @@
+//! Certifying verification for connected-components results.
+//!
+//! Every CC implementation in the workspace returns a per-vertex label
+//! array. This crate checks such an array against the input graph in
+//! O(n + m) with its own, independent serial BFS as ground truth — it
+//! shares no code with the algorithms under test, so a bug in the
+//! lock-free union-find (or in the GPU simulator underneath it) cannot
+//! also hide the evidence.
+//!
+//! The checker is *certifying* in the Mehlhorn sense: a passing run
+//! returns a [`Certificate`] stating the facts that were established,
+//! and a failing run returns a [`VerifyError`] pinpointing a concrete
+//! witness (an edge whose endpoints disagree, a label that is not its
+//! own representative, a parent pointer forming a cycle, …) that a human
+//! or a test harness can re-check directly.
+//!
+//! Three layers of checks:
+//!
+//! * [`certify`] — labels form a valid partition into connected
+//!   components (edge consistency + representative fixpoints + component
+//!   count against BFS ground truth).
+//! * [`certify_canonical`] — additionally, every label is the *minimum*
+//!   vertex ID of its component (the invariant of the paper's min-wins
+//!   hooking family).
+//! * [`validate_forest`] / [`validate_star`] — structural checks on raw
+//!   union-find parent arrays: an acyclic forest (legal any time after
+//!   the compute phase) and a perfect star (required after finalize).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ecl_graph::{CsrGraph, Vertex};
+use std::fmt;
+
+/// A concrete witness of an invalid labeling or parent array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The label array's length differs from the vertex count.
+    LengthMismatch {
+        /// Vertices in the graph.
+        expected: usize,
+        /// Labels supplied.
+        got: usize,
+    },
+    /// A label names a vertex outside the graph.
+    LabelOutOfRange {
+        /// The offending vertex.
+        vertex: Vertex,
+        /// Its out-of-range label.
+        label: Vertex,
+    },
+    /// `labels[labels[v]] != labels[v]`: a label that is not its own
+    /// representative, so "label" does not name a component.
+    NotRepresentative {
+        /// The offending vertex.
+        vertex: Vertex,
+        /// Its label.
+        label: Vertex,
+        /// The label of the label (≠ `label`).
+        label_of_label: Vertex,
+    },
+    /// An edge whose endpoints carry different labels (the labeling
+    /// splits a connected component).
+    EdgeSplit {
+        /// Edge endpoint.
+        u: Vertex,
+        /// Edge endpoint.
+        v: Vertex,
+        /// `labels[u]`.
+        label_u: Vertex,
+        /// `labels[v]`.
+        label_v: Vertex,
+    },
+    /// The number of distinct labels disagrees with the BFS ground truth
+    /// (with edge consistency already established, a smaller count means
+    /// separate components were merged).
+    ComponentCountMismatch {
+        /// Count from the independent BFS.
+        expected: usize,
+        /// Distinct labels found.
+        got: usize,
+    },
+    /// A vertex whose label is not the minimum vertex ID of its
+    /// component (only checked by [`certify_canonical`]).
+    NotCanonical {
+        /// The offending vertex.
+        vertex: Vertex,
+        /// Its label.
+        label: Vertex,
+        /// The true component minimum.
+        component_min: Vertex,
+    },
+    /// A parent entry naming a vertex outside the array.
+    ParentOutOfRange {
+        /// The offending vertex.
+        vertex: Vertex,
+        /// Its out-of-range parent.
+        parent: Vertex,
+    },
+    /// Following parent pointers from `vertex` never reaches a root.
+    ParentCycle {
+        /// A vertex on (or leading into) the cycle.
+        vertex: Vertex,
+    },
+    /// `parent[parent[v]] != parent[v]` after finalize: the forest is
+    /// not a perfect star.
+    NotStar {
+        /// The offending vertex.
+        vertex: Vertex,
+        /// Its parent.
+        parent: Vertex,
+        /// The parent's parent (≠ `parent`).
+        grandparent: Vertex,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            VerifyError::LengthMismatch { expected, got } => {
+                write!(f, "label array has {got} entries for {expected} vertices")
+            }
+            VerifyError::LabelOutOfRange { vertex, label } => {
+                write!(f, "vertex {vertex} carries out-of-range label {label}")
+            }
+            VerifyError::NotRepresentative {
+                vertex,
+                label,
+                label_of_label,
+            } => write!(
+                f,
+                "label {label} of vertex {vertex} is not a representative \
+                 (labels[{label}] = {label_of_label})"
+            ),
+            VerifyError::EdgeSplit {
+                u,
+                v,
+                label_u,
+                label_v,
+            } => write!(
+                f,
+                "edge ({u}, {v}) crosses labels: {label_u} vs {label_v} — a component was split"
+            ),
+            VerifyError::ComponentCountMismatch { expected, got } => write!(
+                f,
+                "{got} distinct labels but BFS ground truth finds {expected} components"
+            ),
+            VerifyError::NotCanonical {
+                vertex,
+                label,
+                component_min,
+            } => write!(
+                f,
+                "vertex {vertex} labeled {label}, but its component's minimum is {component_min}"
+            ),
+            VerifyError::ParentOutOfRange { vertex, parent } => {
+                write!(f, "parent[{vertex}] = {parent} is out of range")
+            }
+            VerifyError::ParentCycle { vertex } => {
+                write!(f, "parent pointers from vertex {vertex} form a cycle")
+            }
+            VerifyError::NotStar {
+                vertex,
+                parent,
+                grandparent,
+            } => write!(
+                f,
+                "parent[{vertex}] = {parent} is not a root (parent[{parent}] = {grandparent}); \
+                 forest is not a star"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The facts established by a passing [`certify`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// Vertices checked.
+    pub num_vertices: usize,
+    /// Undirected edges whose endpoint labels were compared.
+    pub edges_checked: usize,
+    /// Components found (equal for the labeling and the BFS ground
+    /// truth).
+    pub num_components: usize,
+    /// Whether the stronger canonical (component-minimum) invariant was
+    /// also established.
+    pub canonical: bool,
+}
+
+/// Certifies that `labels` is a valid connected-components labeling of
+/// `g`: every edge's endpoints carry equal labels, every used label is
+/// its own representative, and the component count matches an
+/// independent serial BFS. O(n + m) time, O(n) space.
+pub fn certify(g: &CsrGraph, labels: &[Vertex]) -> Result<Certificate, VerifyError> {
+    certify_inner(g, labels, false)
+}
+
+/// [`certify`], plus the min-wins family's canonical invariant: every
+/// vertex's label is the minimum vertex ID in its component.
+pub fn certify_canonical(g: &CsrGraph, labels: &[Vertex]) -> Result<Certificate, VerifyError> {
+    certify_inner(g, labels, true)
+}
+
+fn certify_inner(
+    g: &CsrGraph,
+    labels: &[Vertex],
+    canonical: bool,
+) -> Result<Certificate, VerifyError> {
+    let n = g.num_vertices();
+    if labels.len() != n {
+        return Err(VerifyError::LengthMismatch {
+            expected: n,
+            got: labels.len(),
+        });
+    }
+
+    // Labels in range, and each used label a fixpoint of the labeling —
+    // so distinct labels biject with the classes they name.
+    for v in 0..n {
+        let l = labels[v];
+        if (l as usize) >= n {
+            return Err(VerifyError::LabelOutOfRange {
+                vertex: v as Vertex,
+                label: l,
+            });
+        }
+        let ll = labels[l as usize];
+        if ll != l {
+            return Err(VerifyError::NotRepresentative {
+                vertex: v as Vertex,
+                label: l,
+                label_of_label: ll,
+            });
+        }
+    }
+
+    // Edge consistency: labels are constant on connected components.
+    let mut edges_checked = 0usize;
+    for (u, v) in g.edges() {
+        let (lu, lv) = (labels[u as usize], labels[v as usize]);
+        if lu != lv {
+            return Err(VerifyError::EdgeSplit {
+                u,
+                v,
+                label_u: lu,
+                label_v: lv,
+            });
+        }
+        edges_checked += 1;
+    }
+
+    // Independent ground truth: serial BFS component count (and minima
+    // for the canonical check). With edge consistency established, label
+    // classes can only be unions of whole components, so count equality
+    // proves the partitions are identical.
+    let truth = bfs_ground_truth(g);
+    let distinct = labels
+        .iter()
+        .enumerate()
+        .filter(|&(v, &l)| l as usize == v)
+        .count();
+    if distinct != truth.num_components {
+        return Err(VerifyError::ComponentCountMismatch {
+            expected: truth.num_components,
+            got: distinct,
+        });
+    }
+
+    if canonical {
+        for (v, (&l, &min)) in labels.iter().zip(&truth.component_min).enumerate() {
+            if l != min {
+                return Err(VerifyError::NotCanonical {
+                    vertex: v as Vertex,
+                    label: l,
+                    component_min: min,
+                });
+            }
+        }
+    }
+
+    Ok(Certificate {
+        num_vertices: n,
+        edges_checked,
+        num_components: truth.num_components,
+        canonical,
+    })
+}
+
+struct GroundTruth {
+    num_components: usize,
+    /// Minimum vertex ID of each vertex's component.
+    component_min: Vec<Vertex>,
+}
+
+/// Serial BFS over the CSR graph: intentionally the most boring possible
+/// implementation, independent of `ecl_graph::stats` and every algorithm
+/// under test.
+fn bfs_ground_truth(g: &CsrGraph) -> GroundTruth {
+    let n = g.num_vertices();
+    let mut component_min = vec![u32::MAX; n];
+    let mut queue: Vec<Vertex> = Vec::new();
+    let mut num_components = 0usize;
+    for start in 0..n {
+        if component_min[start] != u32::MAX {
+            continue;
+        }
+        // Vertices are visited in increasing start order, so `start` is
+        // its component's minimum.
+        num_components += 1;
+        let min = start as Vertex;
+        component_min[start] = min;
+        queue.clear();
+        queue.push(start as Vertex);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &w in g.neighbors(u) {
+                if component_min[w as usize] == u32::MAX {
+                    component_min[w as usize] = min;
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    GroundTruth {
+        num_components,
+        component_min,
+    }
+}
+
+/// Validates that `parents` is an acyclic forest: every entry in range
+/// and every chain of parent pointers reaching a root (`parent[r] == r`).
+/// This is the legal state of the union-find array at *any* point after
+/// initialization — the compute phase may leave arbitrary tree depths.
+/// O(n) via path memoization. Returns the number of roots.
+pub fn validate_forest(parents: &[Vertex]) -> Result<usize, VerifyError> {
+    let n = parents.len();
+    // 0 = unvisited, 1 = on the current path, 2 = proven to reach a root.
+    let mut state = vec![0u8; n];
+    let mut path: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        path.clear();
+        let mut v = start;
+        loop {
+            let p = parents[v];
+            if (p as usize) >= n {
+                return Err(VerifyError::ParentOutOfRange {
+                    vertex: v as Vertex,
+                    parent: p,
+                });
+            }
+            match state[v] {
+                1 => {
+                    return Err(VerifyError::ParentCycle {
+                        vertex: v as Vertex,
+                    })
+                }
+                2 => break,
+                _ => {}
+            }
+            state[v] = 1;
+            path.push(v);
+            if p as usize == v {
+                break; // root
+            }
+            v = p as usize;
+        }
+        for &u in &path {
+            state[u] = 2;
+        }
+    }
+    let roots = parents
+        .iter()
+        .enumerate()
+        .filter(|&(v, &p)| p as usize == v)
+        .count();
+    Ok(roots)
+}
+
+/// Validates that `parents` is a perfect star forest — every parent is a
+/// root (`parent[parent[v]] == parent[v]`) — the state finalize must
+/// leave so labels can be read off in one hop. Returns the number of
+/// stars (= components).
+pub fn validate_star(parents: &[Vertex]) -> Result<usize, VerifyError> {
+    let n = parents.len();
+    let mut stars = 0usize;
+    for (v, &p) in parents.iter().enumerate() {
+        if (p as usize) >= n {
+            return Err(VerifyError::ParentOutOfRange {
+                vertex: v as Vertex,
+                parent: p,
+            });
+        }
+        let pp = parents[p as usize];
+        if pp != p {
+            return Err(VerifyError::NotStar {
+                vertex: v as Vertex,
+                parent: p,
+                grandparent: pp,
+            });
+        }
+        if p as usize == v {
+            stars += 1;
+        }
+    }
+    Ok(stars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generate;
+
+    fn labels_of(g: &CsrGraph) -> Vec<Vertex> {
+        ecl_graph::stats::reference_labels(g)
+    }
+
+    #[test]
+    fn accepts_correct_labelings() {
+        for g in [
+            generate::path(50),
+            generate::cycle(33),
+            generate::disjoint_cliques(5, 6),
+            generate::gnm_random(120, 300, 3),
+            ecl_graph::GraphBuilder::new(0).build(),
+            ecl_graph::GraphBuilder::new(7).build(),
+        ] {
+            let labels = labels_of(&g);
+            let cert = certify_canonical(&g, &labels).expect("reference labeling must certify");
+            assert_eq!(cert.num_vertices, g.num_vertices());
+            assert_eq!(cert.edges_checked, g.num_edges());
+            assert!(cert.canonical);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let g = generate::path(10);
+        assert!(matches!(
+            certify(&g, &[0; 9]),
+            Err(VerifyError::LengthMismatch {
+                expected: 10,
+                got: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_split_component() {
+        let g = generate::path(10);
+        let mut labels = labels_of(&g);
+        // Split the path in half: a real edge now crosses labels.
+        for l in labels.iter_mut().skip(5) {
+            *l = 5;
+        }
+        assert!(matches!(
+            certify(&g, &labels),
+            Err(VerifyError::EdgeSplit { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_merged_components() {
+        let g = generate::disjoint_cliques(4, 5); // 4 cliques of 5
+        let labels = vec![0; g.num_vertices()];
+        // All-zero labels are edge-consistent and representative-consistent
+        // but merge four components into one: only the BFS cross-check can
+        // catch this.
+        assert!(matches!(
+            certify(&g, &labels),
+            Err(VerifyError::ComponentCountMismatch {
+                expected: 4,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_representative_labels() {
+        let g = generate::path(4);
+        // 1 is not a fixpoint: labels[1] = 0.
+        let labels = vec![0, 0, 1, 1];
+        assert!(matches!(
+            certify(&g, &labels),
+            Err(VerifyError::NotRepresentative { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let g = generate::path(3);
+        assert!(matches!(
+            certify(&g, &[0, 9, 0]),
+            Err(VerifyError::LabelOutOfRange {
+                vertex: 1,
+                label: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_canonical_but_valid_partition() {
+        let g = generate::disjoint_cliques(2, 3); // {0,1,2} and {3,4,5}
+        let labels = vec![0, 0, 0, 4, 4, 4]; // valid partition, wrong minima
+                                             // labels[3] = 4 and labels[4] = 4: 4 is a fixpoint, so plain
+                                             // certify accepts…
+        certify(&g, &labels).expect("partition itself is valid");
+        // …while the canonical check pins the minimum.
+        assert!(matches!(
+            certify_canonical(&g, &labels),
+            Err(VerifyError::NotCanonical {
+                vertex: 3,
+                label: 4,
+                component_min: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn forest_validation() {
+        // A legal mid-compute forest: chains, not stars.
+        assert_eq!(validate_forest(&[0, 0, 1, 2, 4, 4]), Ok(2));
+        // A perfect star set.
+        assert_eq!(validate_star(&[0, 0, 0, 3, 3]), Ok(2));
+        // Chains are forests but not stars.
+        assert!(matches!(
+            validate_star(&[0, 0, 1, 2]),
+            Err(VerifyError::NotStar { .. })
+        ));
+        // A 2-cycle is neither.
+        assert!(matches!(
+            validate_forest(&[1, 0]),
+            Err(VerifyError::ParentCycle { .. })
+        ));
+        // Out-of-range parents are caught in both.
+        assert!(matches!(
+            validate_forest(&[5]),
+            Err(VerifyError::ParentOutOfRange { .. })
+        ));
+        assert!(matches!(
+            validate_star(&[5]),
+            Err(VerifyError::ParentOutOfRange { .. })
+        ));
+        // Empty arrays are trivially valid.
+        assert_eq!(validate_forest(&[]), Ok(0));
+        assert_eq!(validate_star(&[]), Ok(0));
+    }
+
+    #[test]
+    fn error_messages_carry_witnesses() {
+        let e = VerifyError::EdgeSplit {
+            u: 3,
+            v: 4,
+            label_u: 0,
+            label_v: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('4'));
+    }
+}

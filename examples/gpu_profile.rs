@@ -73,5 +73,7 @@ fn main() {
             );
         }
     }
-    println!("\n(the Fig. 10 pattern: most time in the compute kernels, init next, finalize least)");
+    println!(
+        "\n(the Fig. 10 pattern: most time in the compute kernels, init next, finalize least)"
+    );
 }

@@ -68,7 +68,10 @@ fn main() {
 
     // --- render -----------------------------------------------------------
     let glyphs: &[u8] = b"#@%*+=o&$";
-    println!("segmented image ({size}x{size}, {} objects):", object_ids.len());
+    println!(
+        "segmented image ({size}x{size}, {} objects):",
+        object_ids.len()
+    );
     for y in 0..size {
         let mut line = String::with_capacity(size);
         for x in 0..size {
@@ -87,6 +90,10 @@ fn main() {
         let sz = (0..size * size)
             .filter(|&p| img[p] && labels.labels[p] == oid)
             .count();
-        println!("  object {} ({}): {sz}", i, glyphs[i % glyphs.len()] as char);
+        println!(
+            "  object {} ({}): {sz}",
+            i,
+            glyphs[i % glyphs.len()] as char
+        );
     }
 }

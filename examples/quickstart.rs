@@ -14,10 +14,14 @@ fn main() {
     //    back edges are all cleaned up by the builder.
     let mut b = GraphBuilder::new(0);
     for (u, v) in [
-        (0, 1), (1, 2), (2, 0),       // a triangle
-        (3, 4), (4, 5),               // a path
-        (6, 6),                       // a self-loop (dropped)
-        (7, 8), (8, 7),               // duplicate edge (collapsed)
+        (0, 1),
+        (1, 2),
+        (2, 0), // a triangle
+        (3, 4),
+        (4, 5), // a path
+        (6, 6), // a self-loop (dropped)
+        (7, 8),
+        (8, 7), // duplicate edge (collapsed)
     ] {
         b.add_edge(u, v);
     }

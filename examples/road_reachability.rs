@@ -66,7 +66,11 @@ fn main() {
         for j in (i + 1)..corners.len() {
             let (na, a) = corners[i];
             let (nb, b) = corners[j];
-            let reach = if r.same_component(a, b) { "reachable" } else { "CUT OFF" };
+            let reach = if r.same_component(a, b) {
+                "reachable"
+            } else {
+                "CUT OFF"
+            };
             println!("  {na} -> {nb}: {reach}");
         }
     }

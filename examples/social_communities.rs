@@ -37,22 +37,41 @@ fn main() {
     r.verify(&g).expect("labels verified");
 
     let sizes = r.component_sizes();
-    println!("\ncommunities (connected components): {}", r.num_components());
-    println!("giant component: {} users ({:.1}%)", sizes[0], 100.0 * sizes[0] as f64 / g.num_vertices() as f64);
-    println!("isolated users: {}", sizes.iter().filter(|&&s| s == 1).count());
+    println!(
+        "\ncommunities (connected components): {}",
+        r.num_components()
+    );
+    println!(
+        "giant component: {} users ({:.1}%)",
+        sizes[0],
+        100.0 * sizes[0] as f64 / g.num_vertices() as f64
+    );
+    println!(
+        "isolated users: {}",
+        sizes.iter().filter(|&&s| s == 1).count()
+    );
 
     // Same computation with three of the paper's baselines.
     println!("\nruntime comparison ({threads} threads):");
     println!("  ECL-CC (parallel):  {ecl_ms:.2} ms");
     let t = Instant::now();
     let lp = ecl_baselines::cpu::label_prop::run(&g, threads);
-    println!("  Ligra+ Comp style:  {:.2} ms", t.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "  Ligra+ Comp style:  {:.2} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
     let t = Instant::now();
     let bfs = ecl_baselines::cpu::bfscc::run(&g, threads);
-    println!("  Ligra+ BFSCC style: {:.2} ms", t.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "  Ligra+ BFSCC style: {:.2} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
     let t = Instant::now();
     let ser = ecl_baselines::serial::dfs_cc(&g);
-    println!("  Boost style (serial): {:.2} ms", t.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "  Boost style (serial): {:.2} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
 
     // All four agree on the partition.
     for other in [&lp, &bfs, &ser] {

@@ -78,7 +78,8 @@ fn ecl_beats_all_gpu_baselines_on_most_graphs() {
     for (name, runner) in &ecl_bench::runners::GPU_CODES[1..] {
         let mut ratios = Vec::new();
         for g in &graphs {
-            let ecl = ecl_bench::runners::run_gpu_code(ecl_bench::runners::GPU_CODES[0].1, &titan, g);
+            let ecl =
+                ecl_bench::runners::run_gpu_code(ecl_bench::runners::GPU_CODES[0].1, &titan, g);
             let other = ecl_bench::runners::run_gpu_code(*runner, &titan, g);
             ratios.push(other / ecl);
         }
@@ -129,7 +130,10 @@ fn worklist_counts_match_degree_buckets() {
             .vertices()
             .filter(|&v| g.degree(v) > cfg.warp_threshold && g.degree(v) <= cfg.block_threshold)
             .count();
-        let expected_big = g.vertices().filter(|&v| g.degree(v) > cfg.block_threshold).count();
+        let expected_big = g
+            .vertices()
+            .filter(|&v| g.degree(v) > cfg.block_threshold)
+            .count();
         assert_eq!(s.worklist_mid, expected_mid, "{pg:?} mid bucket");
         assert_eq!(s.worklist_big, expected_big, "{pg:?} big bucket");
     }

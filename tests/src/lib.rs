@@ -20,9 +20,15 @@ pub fn corpus() -> Vec<(String, CsrGraph)> {
         ("grid".into(), generate::grid2d(19, 21)),
         ("delaunay".into(), generate::delaunay_like(16, 16, 3)),
         ("road".into(), generate::road_network(22, 22, 0.25, 1.0, 4)),
-        ("road-frag".into(), generate::road_network(20, 20, 0.3, 0.0, 5)),
+        (
+            "road-frag".into(),
+            generate::road_network(20, 20, 0.3, 0.0, 5),
+        ),
         ("random".into(), generate::gnm_random(700, 1800, 6)),
-        ("rmat".into(), generate::rmat(9, 7, generate::RmatParams::GALOIS, 7)),
+        (
+            "rmat".into(),
+            generate::rmat(9, 7, generate::RmatParams::GALOIS, 7),
+        ),
         ("kron".into(), generate::kronecker(9, 9, 8)),
         ("ba".into(), generate::preferential_attachment(600, 3, 9)),
         ("web".into(), generate::web_graph(600, 8, 0.5, 0.1, 10)),
