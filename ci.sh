@@ -18,4 +18,50 @@ cargo clippy --offline --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> batch engine kill-and-resume"
+# A small batch is SIGKILLed partway through (timeout sends KILL after the
+# first jobs have been journaled), then resumed from the journal; the
+# resumed run must report a complete batch.
+BATCH_DIR=$(mktemp -d)
+trap 'rm -rf "$BATCH_DIR"' EXIT
+# Sized so the whole batch takes a couple of seconds in release mode:
+# the 0.6 s KILL below lands strictly inside it.
+cat > "$BATCH_DIR/jobs.txt" <<'EOF'
+rand-a   gnm:200000:600000:1
+rmat     rmat:16:8:2
+grid     grid:400:400
+rand-b   gnm:150000:450000:3
+ring     cycle:300000
+kron     kronecker:15:7:4
+rand-c   gnm:180000:360000:5
+cliques  cliques:100:50
+EOF
+ECL=./target/release/ecl-cc
+# Uninterrupted reference for byte-level comparison.
+"$ECL" batch --jobs "$BATCH_DIR/jobs.txt" --workers 2 \
+    --journal "$BATCH_DIR/ref.journal" --results "$BATCH_DIR/ref" \
+    --report "$BATCH_DIR/ref.json" > /dev/null
+# Killed run: SIGKILL from `timeout`, mid-batch (if the kill happens to
+# land after completion on a fast machine the step still passes — resume
+# is then a no-op).
+set +e
+timeout -s KILL 0.6 \
+    "$ECL" batch --jobs "$BATCH_DIR/jobs.txt" --workers 2 \
+    --journal "$BATCH_DIR/run.journal" --results "$BATCH_DIR/res" \
+    --report "$BATCH_DIR/killed.json" > /dev/null 2>&1
+KILL_STATUS=$?
+set -e
+echo "    killed mid-batch (exit $KILL_STATUS); resuming from journal"
+"$ECL" batch --jobs "$BATCH_DIR/jobs.txt" --workers 2 \
+    --resume "$BATCH_DIR/run.journal" --results "$BATCH_DIR/res" \
+    --report "$BATCH_DIR/resumed.json" > /dev/null
+grep -q '"complete": true' "$BATCH_DIR/resumed.json" \
+    || { echo "resumed batch report is not complete"; exit 1; }
+# Certified labels must be byte-identical to the uninterrupted run.
+for f in "$BATCH_DIR"/ref/*.labels; do
+    cmp -s "$f" "$BATCH_DIR/res/$(basename "$f")" \
+        || { echo "resume produced different bytes for $(basename "$f")"; exit 1; }
+done
+echo "    resume complete, results byte-identical"
+
 echo "CI OK"

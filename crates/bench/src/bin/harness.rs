@@ -110,6 +110,7 @@ fn main() {
             "table10" | "fig16" => vec!["table10"],
             "fig17" => vec!["fig17"],
             "ordering" => vec!["ordering"],
+            "batch" => vec!["batch"],
             other => {
                 eprintln!("unknown experiment '{other}' (see --help)");
                 std::process::exit(2);
@@ -122,6 +123,7 @@ fn main() {
         "# ECL-CC reproduction harness — scale {scale:?}, host threads {host_threads}, \
          CPU configs: {t_big} / {t_small} threads"
     );
+    let mut records: Vec<ecl_bench::report::BenchRecord> = Vec::new();
     for item in todo {
         match item {
             "table1" => exp::table1(),
@@ -142,12 +144,18 @@ fn main() {
             }
             "fig17" => exp::fig17(scale, t_big),
             "ordering" => exp::ordering(scale, &titan),
+            "batch" => records.extend(exp::batch_throughput(t_big)),
             _ => unreachable!(),
         }
     }
 
-    if verify || json_path.is_some() {
-        let records = exp::verify_sweep(scale, t_big, &titan);
+    // `--verify` (or a bare `--json` with nothing else producing records)
+    // runs the certification sweep; `--json` writes whatever records the
+    // selected experiments produced.
+    if verify || (json_path.is_some() && records.is_empty()) {
+        records.extend(exp::verify_sweep(scale, t_big, &titan));
+    }
+    if (verify || json_path.is_some()) && !records.is_empty() {
         let path = json_path.unwrap_or_else(|| "bench-verify.json".to_string());
         let failed = records
             .iter()

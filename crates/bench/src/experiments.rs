@@ -770,3 +770,85 @@ pub fn verify_sweep(scale: Scale, threads: usize, profile: &DeviceProfile) -> Ve
     );
     records
 }
+
+/// `batch` experiment: throughput of the fault-tolerant batch engine at
+/// several worker counts, on a fixed deterministic job mix, plus one
+/// degraded configuration where the simulated GPU is dead (1-cycle
+/// watchdog) and every job must route through the tripped breaker down
+/// the CPU rungs. Returns machine-readable records for `--json`.
+pub fn batch_throughput(threads: usize) -> Vec<BenchRecord> {
+    use ecl_engine::{run_batch, EngineConfig, GraphSpec, JobSpec};
+
+    let specs = [
+        "cycle:4000",
+        "cliques:6:40",
+        "gnm:6000:18000:3",
+        "star:3000",
+        "grid:60:60",
+        "rmat:10:8:5",
+        "gnm:4000:8000:9",
+        "path:5000",
+        "kronecker:9:6:2",
+        "cliques:3:80",
+        "cycle:2500",
+        "gnm:5000:15000:4",
+    ];
+    let jobs: Vec<JobSpec> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| JobSpec {
+            id: i as u64,
+            name: format!("job{i}"),
+            graph: GraphSpec::parse(s).expect("static spec"),
+        })
+        .collect();
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    let mut run = |code: String, cfg: &EngineConfig| {
+        let report = run_batch(&jobs, cfg).expect("batch setup");
+        assert!(report.is_complete(), "batch must complete: {code}");
+        let jobs_per_s = report.jobs.len() as f64 / (report.total_ms / 1e3);
+        rows.push(vec![
+            code.clone(),
+            format!("{:.1}", report.total_ms),
+            format!("{jobs_per_s:.1}"),
+            format!("{}", report.total_retries()),
+            format!("{}", report.total_trips()),
+        ]);
+        records.push(BenchRecord {
+            experiment: "batch-throughput".into(),
+            graph: format!("{}-job-mix", jobs.len()),
+            code,
+            time_ms: report.total_ms,
+            simulated: false,
+            verified: None,
+        });
+    };
+
+    for workers in [1usize, 2, 4] {
+        let mut cfg = EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        };
+        cfg.ladder.threads = threads.clamp(1, 4);
+        run(format!("workers={workers}"), &cfg);
+    }
+    // Degraded: GPU dead on arrival, breaker trips, CPU rungs carry the
+    // batch. Throughput should stay the same order of magnitude.
+    let mut cfg = EngineConfig {
+        workers: 4,
+        ..EngineConfig::default()
+    };
+    cfg.ladder.threads = threads.clamp(1, 4);
+    cfg.ladder.watchdog = Some(1);
+    cfg.breaker.cooldown_ms = 3_600_000;
+    run("workers=4,gpu-dead".into(), &cfg);
+
+    print_table(
+        "Batch engine throughput — certified jobs through the fallback ladder",
+        &["Config", "total ms", "jobs/s", "retries", "breaker trips"],
+        &rows,
+    );
+    records
+}

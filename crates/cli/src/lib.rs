@@ -17,7 +17,7 @@
 #![warn(missing_docs)]
 
 use ecl_cc::{CcResult, EclConfig};
-use ecl_gpu_sim::{DeviceProfile, Gpu};
+use ecl_gpu_sim::{DeviceProfile, FaultPlan, Gpu};
 use ecl_graph::{io, CsrGraph};
 use std::path::Path;
 
@@ -192,19 +192,39 @@ pub fn run_algorithm(name: &str, g: &CsrGraph, threads: usize) -> Result<CcResul
 /// Runs the graceful-degradation fallback ladder (simulated GPU →
 /// multicore CPU → serial), certifying each stage's output before
 /// acceptance. `watchdog` is the optional per-kernel cycle budget for the
-/// GPU stage.
+/// GPU stage; `fault` is installed on the simulated device (use
+/// [`FaultPlan::none`] for a healthy run).
 pub fn run_ladder(
     g: &CsrGraph,
     threads: usize,
     watchdog: Option<u64>,
+    fault: FaultPlan,
 ) -> Result<ecl_cc::LadderOutcome, String> {
     let cfg = ecl_cc::LadderConfig {
         threads,
         watchdog,
+        fault,
         profile: DeviceProfile::titan_x(),
         ..ecl_cc::LadderConfig::default()
     };
     ecl_cc::ladder::run_with_fallback(g, &cfg).map_err(|e| e.to_string())
+}
+
+/// Runs ECL-CC on the simulated GPU alone — no fallback — with the given
+/// fault plan and optional watchdog installed. Structured errors (kernel
+/// name, cycle counts) are flattened to a message here because the CLI is
+/// about to print them; `batch` keeps the structure.
+pub fn run_gpu_with_fault(
+    g: &CsrGraph,
+    fault: FaultPlan,
+    watchdog: Option<u64>,
+) -> Result<CcResult, String> {
+    let mut gpu = Gpu::new(DeviceProfile::titan_x());
+    gpu.set_fault_plan(fault);
+    gpu.set_watchdog(watchdog);
+    ecl_cc::gpu::try_run(&mut gpu, g, &EclConfig::default())
+        .map(|(r, _)| r)
+        .map_err(|e| e.to_string())
 }
 
 /// Parses a label file of `vertex label` lines (the format written by
@@ -336,7 +356,7 @@ mod tests {
     #[test]
     fn ladder_from_cli_certifies() {
         let g = ecl_graph::generate::disjoint_cliques(3, 5);
-        let out = run_ladder(&g, 2, None).unwrap();
+        let out = run_ladder(&g, 2, None, FaultPlan::none()).unwrap();
         assert_eq!(out.certificate.num_components, 3);
     }
 

@@ -1,9 +1,10 @@
 //! The `ecl-cc` command-line tool. See `lib.rs` for the implementation.
 
 use ecl_cc_cli::{
-    generate_catalog, parse_label_file, read_graph, run_algorithm, run_ladder, write_graph, Format,
-    ALGORITHMS,
+    generate_catalog, parse_label_file, read_graph, run_algorithm, run_gpu_with_fault, run_ladder,
+    write_graph, Format, ALGORITHMS,
 };
+use ecl_gpu_sim::FaultPlan;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -12,11 +13,25 @@ usage: ecl-cc <command> [args]
 
 commands:
   components <file> [--algo NAME|auto] [--threads N] [--format F] [--labels OUT]
-             [--watchdog CYCLES]
+             [--watchdog CYCLES] [--fault-plan SPEC]
       label connected components (default algo: parallel); `--algo auto`
       runs the fallback ladder (simulated GPU -> multicore CPU -> serial),
       certifying each stage's output and degrading on failure; --watchdog
-      sets the GPU stage's per-kernel cycle budget
+      sets the GPU stage's per-kernel cycle budget; --fault-plan installs
+      an injection plan on the simulated GPU (gpu/auto only): none,
+      cas-storm[:SEED], slow-memory[:SEED], scheduler-chaos[:SEED],
+      everything[:SEED], or custom `seed=N,cas=PERMILLE,mem=PERMILLE/CYC,shuffle`
+  batch --jobs FILE [--workers N] [--queue N] [--deadline-ms MS] [--retries N]
+        [--journal FILE] [--resume FILE] [--results DIR] [--report FILE]
+        [--fault-plan SPEC] [--watchdog CYCLES] [--threads N] [--reject-full]
+        [--breaker-threshold N] [--breaker-cooldown-ms MS] [--breaker-probes N]
+        [--kill-after N]
+      run a batch of CC jobs (one `<name> <graph-spec>` per line in FILE)
+      through the certified fallback ladder on a worker pool, with
+      retry/backoff, per-backend circuit breakers, and a crash-safe
+      journal; --resume continues a killed run from its journal;
+      the machine-readable JSON report goes to --report or stdout;
+      --kill-after N simulates SIGKILL after N completed jobs (testing)
   verify <file> [--labels FILE | --algo NAME] [--threads N] [--format F]
       certify a labeling with the independent O(n+m) checker: edge
       consistency, representative fixpoints, component count vs BFS
@@ -86,21 +101,36 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let watchdog: Option<u64> = flag(args, "--watchdog")
                 .map(|w| w.parse().map_err(|e| format!("--watchdog: {e}")))
                 .transpose()?;
+            let fault = match flag(args, "--fault-plan") {
+                Some(spec) => {
+                    if algo != "auto" && algo != "gpu" {
+                        return Err(format!(
+                            "--fault-plan targets the simulated GPU; it needs \
+                             --algo gpu or --algo auto (got '{algo}')"
+                        ));
+                    }
+                    FaultPlan::parse(&spec).map_err(|e| format!("--fault-plan: {e}"))?
+                }
+                None => FaultPlan::none(),
+            };
             let g = read_graph(&path, fmt_flag(args, "--format")?)?;
             let t = Instant::now();
             let (r, how) = if algo == "auto" {
-                let out = run_ladder(&g, threads, watchdog)?;
+                let out = run_ladder(&g, threads, watchdog, fault)?;
                 for a in &out.attempts {
-                    match &a.outcome {
-                        ecl_cc::ladder::AttemptOutcome::Failed { reason } => eprintln!(
+                    if let Some(reason) = a.outcome.reason() {
+                        eprintln!(
                             "  {}#{}: failed ({reason}); degrading",
                             a.backend.name(),
                             a.attempt
-                        ),
-                        ecl_cc::ladder::AttemptOutcome::Certified { .. } => {}
+                        );
                     }
                 }
                 (out.result, format!("auto:{}", out.backend.name()))
+            } else if algo == "gpu" && (watchdog.is_some() || flag(args, "--fault-plan").is_some())
+            {
+                let r = run_gpu_with_fault(&g, fault, watchdog)?;
+                (r, "gpu(fault-injected)".to_string())
             } else {
                 let r = run_algorithm(&algo, &g, threads)?;
                 (r, algo.clone())
@@ -130,6 +160,91 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                     .collect();
                 std::fs::write(&out, text).map_err(|e| format!("{out}: {e}"))?;
                 println!("labels written to {out}");
+            }
+            Ok(())
+        }
+        "batch" => {
+            let jobs_file = flag(args, "--jobs").ok_or("batch needs --jobs <file>")?;
+            let text =
+                std::fs::read_to_string(&jobs_file).map_err(|e| format!("{jobs_file}: {e}"))?;
+            let jobs = ecl_engine::parse_jobs(&text)?;
+
+            let mut cfg = ecl_engine::EngineConfig {
+                ladder: ecl_cc::LadderConfig {
+                    threads,
+                    ..ecl_cc::LadderConfig::default()
+                },
+                ..ecl_engine::EngineConfig::default()
+            };
+            let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
+                flag(args, name)
+                    .map(|v| v.parse().map_err(|e| format!("{name}: {e}")))
+                    .transpose()
+            };
+            if let Some(w) = parse_u64("--workers")? {
+                cfg.workers = w.max(1) as usize;
+            }
+            if let Some(q) = parse_u64("--queue")? {
+                cfg.queue_capacity = q.max(1) as usize;
+            }
+            cfg.deadline_ms = parse_u64("--deadline-ms")?;
+            if let Some(r) = parse_u64("--retries")? {
+                cfg.retries = r as u32;
+            }
+            cfg.ladder.watchdog = parse_u64("--watchdog")?;
+            if let Some(spec) = flag(args, "--fault-plan") {
+                cfg.ladder.fault =
+                    FaultPlan::parse(&spec).map_err(|e| format!("--fault-plan: {e}"))?;
+            }
+            if let Some(t) = parse_u64("--breaker-threshold")? {
+                cfg.breaker.failure_threshold = t.max(1) as u32;
+            }
+            if let Some(c) = parse_u64("--breaker-cooldown-ms")? {
+                cfg.breaker.cooldown_ms = c;
+            }
+            if let Some(p) = parse_u64("--breaker-probes")? {
+                cfg.breaker.half_open_successes = p.max(1) as u32;
+            }
+            if let Some(k) = parse_u64("--kill-after")? {
+                cfg.kill_after_jobs = Some(k as usize);
+            }
+            cfg.reject_when_full = args.iter().any(|a| a == "--reject-full");
+            if let Some(j) = flag(args, "--journal") {
+                cfg.journal_path = Some(PathBuf::from(j));
+            }
+            if let Some(j) = flag(args, "--resume") {
+                cfg.journal_path = Some(PathBuf::from(j));
+                cfg.resume = true;
+            }
+            if let Some(d) = flag(args, "--results") {
+                cfg.results_dir = Some(PathBuf::from(d));
+            }
+
+            let report = ecl_engine::run_batch(&jobs, &cfg)?;
+            let json = report.to_json();
+            match flag(args, "--report") {
+                Some(out) => {
+                    std::fs::write(&out, &json).map_err(|e| format!("{out}: {e}"))?;
+                    eprintln!("report written to {out}");
+                }
+                None => println!("{json}"),
+            }
+            eprintln!(
+                "batch: {}/{} jobs done ({} resumed, {} failed), {} retries, \
+                 {} breaker trips, {:.1} ms",
+                report.done() + report.resumed(),
+                report.expected_jobs,
+                report.resumed(),
+                report.failed(),
+                report.total_retries(),
+                report.total_trips(),
+                report.total_ms
+            );
+            if report.aborted {
+                return Err("batch aborted before completion (resume from the journal)".into());
+            }
+            if !report.is_complete() {
+                return Err(format!("{} job(s) failed; see report", report.failed()));
             }
             Ok(())
         }

@@ -5,6 +5,13 @@
 //! invariant violations, but everything a *caller* can meaningfully react
 //! to — by retrying, degrading to another backend, or reporting — is a
 //! variant here.
+//!
+//! The taxonomy is deliberately *structured all the way down*: a watchdog
+//! trip keeps its kernel name and cycle counts, a memory fault keeps its
+//! faulting kernel, and [`EclError::Exhausted`] keeps the final
+//! attempt's error as a boxed child instead of a flattened string, so a
+//! batch engine (or a human reading a JSON report) can see exactly which
+//! kernel misbehaved and by how much.
 
 use ecl_gpu_sim::SimError;
 use ecl_verify::VerifyError;
@@ -36,9 +43,68 @@ pub enum EclError {
     Exhausted {
         /// Total attempts made across all stages.
         attempts: usize,
-        /// Failure reason of the last attempt.
-        last: String,
+        /// The structured error of the last attempt, if any attempt was
+        /// made (preserves kernel names and cycle counts instead of
+        /// flattening them into a message).
+        last: Option<Box<EclError>>,
     },
+    /// A job exceeded its deadline before producing a certified answer.
+    Timeout {
+        /// Milliseconds elapsed when the deadline check fired.
+        elapsed_ms: u64,
+        /// The configured deadline in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A backend's circuit breaker is open and no other backend is
+    /// configured, so the work could not be attempted at all.
+    CircuitOpen {
+        /// Stable name of the gated backend (e.g. `"gpu-sim"`).
+        backend: String,
+    },
+    /// The engine's bounded job queue rejected the submission
+    /// (admission control under backpressure).
+    QueueFull {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+}
+
+impl EclError {
+    /// The name of the kernel at the root of this error chain, when the
+    /// failure originated inside a simulated kernel launch.
+    pub fn kernel_name(&self) -> Option<&str> {
+        match self {
+            EclError::Sim(SimError::Watchdog { kernel, .. })
+            | EclError::Sim(SimError::MemoryFault { kernel, .. }) => Some(kernel),
+            EclError::Exhausted { last: Some(e), .. } => e.kernel_name(),
+            _ => None,
+        }
+    }
+
+    /// `(spent, budget)` cycle counts when the root cause is a watchdog
+    /// trip, walking through [`EclError::Exhausted`] wrappers.
+    pub fn watchdog_cycles(&self) -> Option<(u64, u64)> {
+        match self {
+            EclError::Sim(SimError::Watchdog { budget, spent, .. }) => Some((*spent, *budget)),
+            EclError::Exhausted { last: Some(e), .. } => e.watchdog_cycles(),
+            _ => None,
+        }
+    }
+
+    /// Short stable kind tag for machine-readable reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EclError::GraphTooLarge { .. } => "graph-too-large",
+            EclError::Sim(SimError::Watchdog { .. }) => "sim-watchdog",
+            EclError::Sim(SimError::MemoryFault { .. }) => "sim-memory-fault",
+            EclError::Verification(_) => "verification",
+            EclError::StagePanicked { .. } => "stage-panicked",
+            EclError::Exhausted { .. } => "exhausted",
+            EclError::Timeout { .. } => "timeout",
+            EclError::CircuitOpen { .. } => "circuit-open",
+            EclError::QueueFull { .. } => "queue-full",
+        }
+    }
 }
 
 impl fmt::Display for EclError {
@@ -57,10 +123,30 @@ impl fmt::Display for EclError {
             EclError::StagePanicked { stage, detail } => {
                 write!(f, "stage `{stage}` panicked: {detail}")
             }
-            EclError::Exhausted { attempts, last } => write!(
+            EclError::Exhausted { attempts, last } => match last {
+                Some(e) => write!(
+                    f,
+                    "all fallback stages failed after {attempts} attempts (last: {e})"
+                ),
+                None => write!(f, "no fallback stages were attempted"),
+            },
+            EclError::Timeout {
+                elapsed_ms,
+                deadline_ms,
+            } => write!(
                 f,
-                "all fallback stages failed after {attempts} attempts (last: {last})"
+                "deadline exceeded ({elapsed_ms} ms elapsed > {deadline_ms} ms allowed)"
             ),
+            EclError::CircuitOpen { backend } => write!(
+                f,
+                "circuit breaker for backend `{backend}` is open and no alternative is configured"
+            ),
+            EclError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "job queue full (capacity {capacity}); submission rejected"
+                )
+            }
         }
     }
 }
@@ -70,6 +156,7 @@ impl std::error::Error for EclError {
         match self {
             EclError::Sim(e) => Some(e),
             EclError::Verification(e) => Some(e),
+            EclError::Exhausted { last: Some(e), .. } => Some(e.as_ref()),
             _ => None,
         }
     }
@@ -105,5 +192,40 @@ mod tests {
         });
         assert!(e.to_string().contains("compute1"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn exhausted_preserves_kernel_and_cycles() {
+        let root = EclError::from(SimError::Watchdog {
+            kernel: "compute2".into(),
+            budget: 100,
+            spent: 150,
+        });
+        let e = EclError::Exhausted {
+            attempts: 6,
+            last: Some(Box::new(root)),
+        };
+        assert_eq!(e.kernel_name(), Some("compute2"));
+        assert_eq!(e.watchdog_cycles(), Some((150, 100)));
+        assert!(e.to_string().contains("compute2"));
+        assert!(e.to_string().contains("150"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert_eq!(e.kind(), "exhausted");
+    }
+
+    #[test]
+    fn engine_variants_display() {
+        let t = EclError::Timeout {
+            elapsed_ms: 250,
+            deadline_ms: 100,
+        };
+        assert!(t.to_string().contains("250"));
+        assert_eq!(t.kind(), "timeout");
+        let c = EclError::CircuitOpen {
+            backend: "gpu-sim".into(),
+        };
+        assert!(c.to_string().contains("gpu-sim"));
+        let q = EclError::QueueFull { capacity: 8 };
+        assert!(q.to_string().contains("capacity 8"));
     }
 }

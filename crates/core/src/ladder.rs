@@ -106,11 +106,23 @@ pub enum AttemptOutcome {
         num_components: usize,
     },
     /// The backend failed: structured error, contained panic, or a
-    /// labeling rejected by the checker.
+    /// labeling rejected by the checker. The full [`EclError`] is kept
+    /// (not a flattened message) so the originating kernel name and
+    /// cycle counts survive into reports.
     Failed {
-        /// Human-readable reason.
-        reason: String,
+        /// The structured failure.
+        error: EclError,
     },
+}
+
+impl AttemptOutcome {
+    /// Human-readable failure reason; `None` for certified outcomes.
+    pub fn reason(&self) -> Option<String> {
+        match self {
+            AttemptOutcome::Certified { .. } => None,
+            AttemptOutcome::Failed { error } => Some(error.to_string()),
+        }
+    }
 }
 
 /// A certified answer, plus the trail of attempts that produced it.
@@ -132,12 +144,12 @@ pub struct LadderOutcome {
 /// fails does this return [`EclError::Exhausted`].
 pub fn run_with_fallback(g: &CsrGraph, cfg: &LadderConfig) -> Result<LadderOutcome, EclError> {
     let mut attempts: Vec<StageAttempt> = Vec::new();
-    let mut last_reason = String::from("no stages configured");
+    let mut last_error: Option<EclError> = None;
 
     for &backend in &cfg.stages {
         for attempt in 1..=cfg.attempts_per_stage.max(1) {
             let produced = run_stage(g, cfg, backend, attempt);
-            let reason = match produced {
+            let error = match produced {
                 Ok(result) => match ecl_verify::certify(g, &result.labels) {
                     Ok(certificate) => {
                         attempts.push(StageAttempt {
@@ -154,35 +166,37 @@ pub fn run_with_fallback(g: &CsrGraph, cfg: &LadderConfig) -> Result<LadderOutco
                             attempts,
                         });
                     }
-                    Err(ve) => format!("certification rejected the labeling: {ve}"),
+                    Err(ve) => EclError::Verification(ve),
                 },
-                Err(reason) => reason,
+                Err(e) => e,
             };
             attempts.push(StageAttempt {
                 backend,
                 attempt,
                 outcome: AttemptOutcome::Failed {
-                    reason: reason.clone(),
+                    error: error.clone(),
                 },
             });
-            last_reason = format!("{}#{attempt}: {reason}", backend.name());
+            last_error = Some(error);
         }
     }
 
     Err(EclError::Exhausted {
         attempts: attempts.len(),
-        last: last_reason,
+        last: last_error.map(Box::new),
     })
 }
 
 /// Runs one backend attempt, containing panics at the stage boundary.
-/// Returns the raw (uncertified) labeling or a failure reason.
+/// Returns the raw (uncertified) labeling or the structured failure —
+/// watchdog trips and memory faults keep their kernel name and cycle
+/// counts instead of being flattened into a message.
 fn run_stage(
     g: &CsrGraph,
     cfg: &LadderConfig,
     backend: Backend,
     attempt: usize,
-) -> Result<CcResult, String> {
+) -> Result<CcResult, EclError> {
     match backend {
         Backend::GpuSim => {
             let caught = catch_unwind(AssertUnwindSafe(|| {
@@ -199,19 +213,28 @@ fn run_stage(
             }));
             match caught {
                 Ok(Ok(result)) => Ok(result),
-                Ok(Err(e)) => Err(e.to_string()),
-                Err(payload) => Err(format!("panic contained: {}", panic_message(&payload))),
+                Ok(Err(e)) => Err(e),
+                Err(payload) => Err(EclError::StagePanicked {
+                    stage: backend.name().to_string(),
+                    detail: panic_message(&payload),
+                }),
             }
         }
         Backend::ParallelCpu => {
             let caught = catch_unwind(AssertUnwindSafe(|| {
                 parallel::run(g, cfg.threads.max(1), &cfg.cc)
             }));
-            caught.map_err(|p| format!("panic contained: {}", panic_message(&p)))
+            caught.map_err(|p| EclError::StagePanicked {
+                stage: backend.name().to_string(),
+                detail: panic_message(&p),
+            })
         }
         Backend::Serial => {
             let caught = catch_unwind(AssertUnwindSafe(|| serial::run(g, &cfg.cc)));
-            caught.map_err(|p| format!("panic contained: {}", panic_message(&p)))
+            caught.map_err(|p| EclError::StagePanicked {
+                stage: backend.name().to_string(),
+                detail: panic_message(&p),
+            })
         }
     }
 }
@@ -262,8 +285,14 @@ mod tests {
         for a in &out.attempts[..2] {
             assert_eq!(a.backend, Backend::GpuSim);
             match &a.outcome {
-                AttemptOutcome::Failed { reason } => {
-                    assert!(reason.contains("watchdog"), "reason: {reason}")
+                AttemptOutcome::Failed { error } => {
+                    assert!(error.to_string().contains("watchdog"), "error: {error}");
+                    // The structured chain keeps the kernel that tripped
+                    // and its cycle accounting.
+                    assert!(error.kernel_name().is_some(), "kernel name lost: {error:?}");
+                    let (spent, budget) = error.watchdog_cycles().unwrap();
+                    assert_eq!(budget, 1);
+                    assert!(spent > budget);
                 }
                 other => panic!("expected failure, got {other:?}"),
             }

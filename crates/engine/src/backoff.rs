@@ -1,0 +1,118 @@
+//! Deterministic seeded exponential backoff with jitter.
+//!
+//! Retry storms are a classic self-inflicted outage: if every failed job
+//! retries on the same schedule, the backend that just buckled gets hit
+//! by a synchronized wave. Exponential backoff spreads retries out in
+//! time; jitter decorrelates them across jobs. Unlike most
+//! implementations, the jitter here is *seeded and deterministic* —
+//! derived from `(policy seed, job id, attempt)` via the same SplitMix64
+//! generator the fault-injection machinery uses — so a batch replays
+//! with bit-identical retry timing, which is what makes chaos runs and
+//! the kill/resume acceptance tests reproducible.
+
+use ecl_gpu_sim::FaultRng;
+
+/// Backoff schedule parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per subsequent retry (≥ 1).
+    pub factor: u64,
+    /// Ceiling on the uncapped exponential term, in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ms: 10,
+            factor: 2,
+            cap_ms: 2_000,
+            seed: 0x0ff_ba11,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Deterministic "equal jitter" delay for the given retry: half the
+    /// capped exponential term is kept, the other half is drawn uniformly
+    /// from the `(seed, job id, attempt)` stream. `attempt` is 1-based
+    /// (the first retry is attempt 1).
+    pub fn delay_ms(&self, job_id: u64, attempt: u32) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(self.factor.max(1).saturating_pow(attempt.saturating_sub(1)))
+            .min(self.cap_ms.max(self.base_ms));
+        if exp == 0 {
+            return 0;
+        }
+        let mut rng = FaultRng::new(
+            self.seed ^ job_id.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            attempt as u64,
+        );
+        let half = exp / 2;
+        half + rng.below(exp - half + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_job_and_attempt() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.delay_ms(3, 1), p.delay_ms(3, 1));
+        assert_ne!(
+            (p.delay_ms(3, 1), p.delay_ms(3, 2), p.delay_ms(3, 3)),
+            (p.delay_ms(4, 1), p.delay_ms(4, 2), p.delay_ms(4, 3)),
+            "different jobs must not retry in lockstep"
+        );
+    }
+
+    #[test]
+    fn grows_exponentially_and_caps() {
+        let p = BackoffPolicy {
+            base_ms: 100,
+            factor: 2,
+            cap_ms: 1_000,
+            seed: 9,
+        };
+        for attempt in 1..=10u32 {
+            let exp = (100u64 * 2u64.pow(attempt - 1)).min(1_000);
+            let d = p.delay_ms(0, attempt);
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "attempt {attempt}: {d} not in [{}, {exp}]",
+                exp / 2
+            );
+        }
+    }
+
+    #[test]
+    fn zero_base_means_no_delay() {
+        let p = BackoffPolicy {
+            base_ms: 0,
+            factor: 2,
+            cap_ms: 0,
+            seed: 1,
+        };
+        assert_eq!(p.delay_ms(5, 1), 0);
+        assert_eq!(p.delay_ms(5, 9), 0);
+    }
+
+    #[test]
+    fn no_overflow_at_extreme_attempts() {
+        let p = BackoffPolicy {
+            base_ms: u64::MAX / 2,
+            factor: u64::MAX,
+            cap_ms: u64::MAX,
+            seed: 1,
+        };
+        // Must not panic.
+        let _ = p.delay_ms(u64::MAX, u32::MAX);
+    }
+}

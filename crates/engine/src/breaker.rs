@@ -1,0 +1,324 @@
+//! Per-backend circuit breakers.
+//!
+//! A backend that keeps failing (a GPU tripping its watchdog on every
+//! kernel, say) should not be handed every incoming job just so each one
+//! can burn its retry budget rediscovering the outage. The breaker is
+//! the standard three-state machine:
+//!
+//! ```text
+//!            failures >= threshold
+//!   Closed ────────────────────────► Open
+//!     ▲                                │ cooldown elapses
+//!     │  probe successes >= quota      ▼
+//!     └──────────────────────────── HalfOpen ──► Open (probe fails)
+//! ```
+//!
+//! * **Closed** — jobs flow normally; consecutive failures are counted.
+//! * **Open** — the backend is skipped entirely until the cooldown
+//!   elapses, so jobs route straight down the fallback ladder.
+//! * **HalfOpen** — a limited number of probe jobs (preceded by the
+//!   simulator's [`health_probe`](ecl_gpu_sim::Gpu::health_probe)) are
+//!   let through; enough successes close the breaker, any failure
+//!   reopens it.
+//!
+//! State is per backend and shared by all workers (one mutex per set —
+//! transitions are rare and cheap next to a CC job).
+
+use ecl_cc::ladder::Backend;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Breaker tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// How long an Open breaker waits before allowing half-open probes,
+    /// in milliseconds.
+    pub cooldown_ms: u64,
+    /// Probe successes required to close a half-open breaker.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 1_000,
+            half_open_successes: 2,
+        }
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: jobs flow, failures are counted.
+    Closed,
+    /// Tripped: the backend is skipped until the cooldown elapses.
+    Open,
+    /// Probing: limited traffic decides between Closed and Open.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Admission decision for one job on one backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: run normally.
+    Allow,
+    /// Breaker half-open: run, but health-probe the backend first.
+    Probe,
+    /// Breaker open: skip this backend.
+    Deny,
+}
+
+/// One backend's breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_successes: u32,
+    opened_at: Option<Instant>,
+    /// Closed→Open and HalfOpen→Open transitions, for reports.
+    trips: u64,
+    total_failures: u64,
+    total_successes: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            half_open_successes: 0,
+            opened_at: None,
+            trips: 0,
+            total_failures: 0,
+            total_successes: 0,
+        }
+    }
+
+    /// Current state (advancing Open → HalfOpen if the cooldown elapsed).
+    pub fn state(&mut self) -> BreakerState {
+        self.advance_cooldown();
+        self.state
+    }
+
+    /// Decides whether a job may use this backend right now.
+    pub fn admit(&mut self) -> Admission {
+        self.advance_cooldown();
+        match self.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => Admission::Deny,
+            BreakerState::HalfOpen => Admission::Probe,
+        }
+    }
+
+    fn advance_cooldown(&mut self) {
+        if self.state == BreakerState::Open {
+            let waited = self
+                .opened_at
+                .map(|t| t.elapsed().as_millis() as u64)
+                .unwrap_or(u64::MAX);
+            if waited >= self.cfg.cooldown_ms {
+                self.state = BreakerState::HalfOpen;
+                self.half_open_successes = 0;
+            }
+        }
+    }
+
+    /// Records a successful use of the backend.
+    pub fn record_success(&mut self) {
+        self.total_successes += 1;
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.half_open_successes += 1;
+                if self.half_open_successes >= self.cfg.half_open_successes.max(1) {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                }
+            }
+            // A success racing the trip: harmless, ignore.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed use of the backend.
+    pub fn record_failure(&mut self) {
+        self.total_failures += 1;
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold.max(1) {
+                    self.trip();
+                }
+            }
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(Instant::now());
+        self.trips += 1;
+    }
+
+    /// Times the breaker tripped (Closed/HalfOpen → Open).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Total recorded failures.
+    pub fn total_failures(&self) -> u64 {
+        self.total_failures
+    }
+
+    /// Total recorded successes.
+    pub fn total_successes(&self) -> u64 {
+        self.total_successes
+    }
+}
+
+/// The breakers for every ladder backend, shared across workers.
+pub struct BreakerSet {
+    inner: Mutex<[CircuitBreaker; 3]>,
+}
+
+/// All backends a breaker is tracked for, in ladder order.
+pub const BACKENDS: [Backend; 3] = [Backend::GpuSim, Backend::ParallelCpu, Backend::Serial];
+
+fn slot(backend: Backend) -> usize {
+    match backend {
+        Backend::GpuSim => 0,
+        Backend::ParallelCpu => 1,
+        Backend::Serial => 2,
+    }
+}
+
+impl BreakerSet {
+    /// One closed breaker per backend, all with the same tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        BreakerSet {
+            inner: Mutex::new([
+                CircuitBreaker::new(cfg),
+                CircuitBreaker::new(cfg),
+                CircuitBreaker::new(cfg),
+            ]),
+        }
+    }
+
+    /// Admission decision for `backend`.
+    pub fn admit(&self, backend: Backend) -> Admission {
+        self.inner.lock().unwrap()[slot(backend)].admit()
+    }
+
+    /// Records a success for `backend`.
+    pub fn record_success(&self, backend: Backend) {
+        self.inner.lock().unwrap()[slot(backend)].record_success();
+    }
+
+    /// Records a failure for `backend`.
+    pub fn record_failure(&self, backend: Backend) {
+        self.inner.lock().unwrap()[slot(backend)].record_failure();
+    }
+
+    /// Snapshot of `(state, trips, failures, successes)` for `backend`.
+    pub fn snapshot(&self, backend: Backend) -> (BreakerState, u64, u64, u64) {
+        let mut set = self.inner.lock().unwrap();
+        let b = &mut set[slot(backend)];
+        (
+            b.state(),
+            b.trips(),
+            b.total_failures(),
+            b.total_successes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: u32, cooldown_ms: u64, probes: u32) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_ms,
+            half_open_successes: probes,
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = CircuitBreaker::new(cfg(3, 60_000, 1));
+        b.record_failure();
+        b.record_failure();
+        b.record_success(); // resets the streak
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Admission::Deny);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn cooldown_elapses_into_half_open_probes() {
+        let mut b = CircuitBreaker::new(cfg(1, 0, 2));
+        b.record_failure();
+        // Zero cooldown: immediately probing.
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one probe is not enough");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let mut b = CircuitBreaker::new(cfg(1, 0, 1));
+        b.record_failure();
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record_failure();
+        // Cooldown is zero so it is immediately probing again, but the
+        // re-trip was counted.
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn long_cooldown_stays_open() {
+        let mut b = CircuitBreaker::new(cfg(1, 3_600_000, 1));
+        b.record_failure();
+        assert_eq!(b.admit(), Admission::Deny);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn set_is_per_backend() {
+        let set = BreakerSet::new(cfg(1, 3_600_000, 1));
+        set.record_failure(Backend::GpuSim);
+        assert_eq!(set.admit(Backend::GpuSim), Admission::Deny);
+        assert_eq!(set.admit(Backend::ParallelCpu), Admission::Allow);
+        assert_eq!(set.admit(Backend::Serial), Admission::Allow);
+        let (state, trips, fails, _) = set.snapshot(Backend::GpuSim);
+        assert_eq!(state, BreakerState::Open);
+        assert_eq!((trips, fails), (1, 1));
+    }
+}

@@ -1,0 +1,399 @@
+//! Machine-readable batch reports.
+//!
+//! The engine's contract with operators: every job, every attempt,
+//! every retry, every breaker trip shows up here — including for jobs
+//! recovered from a journal on resume. JSON is hand-rolled (the
+//! workspace builds offline with no serde); the shape is flat and
+//! stable so `ci.sh` and dashboards can grep/parse it.
+
+use ecl_cc::EclError;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_num<T: std::fmt::Display>(v: &Option<T>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn opt_str(v: &Option<String>) -> String {
+    match v {
+        Some(v) => format!("\"{}\"", esc(v)),
+        None => "null".to_string(),
+    }
+}
+
+/// A structured failure, preserving the originating kernel name and
+/// cycle counts when the root cause was a simulated-GPU abort.
+#[derive(Clone, Debug)]
+pub struct ErrorReport {
+    /// Stable kind tag (see [`EclError::kind`]) or `"input"` for
+    /// graph-loading failures.
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Originating kernel, when the failure chain roots in a kernel.
+    pub kernel: Option<String>,
+    /// Cycles spent when a watchdog fired.
+    pub spent_cycles: Option<u64>,
+    /// The watchdog budget that was exceeded.
+    pub budget_cycles: Option<u64>,
+}
+
+impl ErrorReport {
+    /// Builds a report from the structured error chain.
+    pub fn from_ecl(e: &EclError) -> ErrorReport {
+        let (spent, budget) = match e.watchdog_cycles() {
+            Some((s, b)) => (Some(s), Some(b)),
+            None => (None, None),
+        };
+        ErrorReport {
+            kind: e.kind().to_string(),
+            message: e.to_string(),
+            kernel: e.kernel_name().map(str::to_string),
+            spent_cycles: spent,
+            budget_cycles: budget,
+        }
+    }
+
+    /// A graph-input failure (file unreadable, bad spec).
+    pub fn input(message: String) -> ErrorReport {
+        ErrorReport {
+            kind: "input".to_string(),
+            message,
+            kernel: None,
+            spent_cycles: None,
+            budget_cycles: None,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":\"{}\",\"message\":\"{}\",\"kernel\":{},\
+             \"spent_cycles\":{},\"budget_cycles\":{}}}",
+            esc(&self.kind),
+            esc(&self.message),
+            opt_str(&self.kernel),
+            opt_num(&self.spent_cycles),
+            opt_num(&self.budget_cycles)
+        )
+    }
+}
+
+/// One ladder attempt inside one retry round of one job.
+#[derive(Clone, Debug)]
+pub struct AttemptReport {
+    /// Retry round (0 = first try).
+    pub round: u32,
+    /// Backend that ran.
+    pub backend: String,
+    /// 1-based attempt number within that backend's ladder stage.
+    pub attempt: usize,
+    /// Whether the attempt's labeling was certified.
+    pub certified: bool,
+    /// The structured failure, when not certified.
+    pub error: Option<ErrorReport>,
+}
+
+impl AttemptReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"round\":{},\"backend\":\"{}\",\"attempt\":{},\"certified\":{},\"error\":{}}}",
+            self.round,
+            esc(&self.backend),
+            self.attempt,
+            self.certified,
+            self.error.as_ref().map_or("null".into(), |e| e.to_json())
+        )
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Completed (certified) in this run.
+    Done,
+    /// Recovered from the journal: completed by an earlier (killed) run.
+    Resumed,
+    /// All retries exhausted without a certified answer.
+    Failed,
+}
+
+impl JobStatus {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Done => "done",
+            JobStatus::Resumed => "resumed",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Everything that happened to one job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Stable job id.
+    pub id: u64,
+    /// Job name from the jobs file.
+    pub name: String,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Backend whose answer was accepted, when done/resumed.
+    pub backend: Option<String>,
+    /// Certified component count, when done/resumed.
+    pub components: Option<usize>,
+    /// Job-level retry rounds consumed (0 = first try sufficed).
+    pub retries: u32,
+    /// Every ladder attempt made in this run (empty for resumed jobs).
+    pub attempts: Vec<AttemptReport>,
+    /// Terminal error for failed jobs.
+    pub error: Option<ErrorReport>,
+    /// Wall-clock milliseconds spent on the job in this run.
+    pub time_ms: f64,
+}
+
+impl JobReport {
+    fn to_json(&self) -> String {
+        let attempts: Vec<String> = self.attempts.iter().map(|a| a.to_json()).collect();
+        format!(
+            "{{\"id\":{},\"name\":\"{}\",\"status\":\"{}\",\"backend\":{},\
+             \"components\":{},\"retries\":{},\"time_ms\":{:.3},\"attempts\":[{}],\"error\":{}}}",
+            self.id,
+            esc(&self.name),
+            self.status.name(),
+            opt_str(&self.backend),
+            opt_num(&self.components),
+            self.retries,
+            self.time_ms,
+            attempts.join(","),
+            self.error.as_ref().map_or("null".into(), |e| e.to_json())
+        )
+    }
+}
+
+/// Final health of one backend's circuit breaker.
+#[derive(Clone, Debug)]
+pub struct BreakerReport {
+    /// Backend name.
+    pub backend: String,
+    /// Final state (`closed` / `open` / `half-open`).
+    pub state: String,
+    /// Times the breaker tripped.
+    pub trips: u64,
+    /// Total failures recorded against the backend.
+    pub failures: u64,
+    /// Total successes recorded for the backend.
+    pub successes: u64,
+}
+
+impl BreakerReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"backend\":\"{}\",\"state\":\"{}\",\"trips\":{},\
+             \"failures\":{},\"successes\":{}}}",
+            esc(&self.backend),
+            esc(&self.state),
+            self.trips,
+            self.failures,
+            self.successes
+        )
+    }
+}
+
+/// The whole batch: per-job outcomes, breaker health, and run totals.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Jobs in id order (done, resumed, and failed alike).
+    pub jobs: Vec<JobReport>,
+    /// Per-backend breaker outcomes.
+    pub breakers: Vec<BreakerReport>,
+    /// Jobs the batch was asked to run (jobs-file count).
+    pub expected_jobs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Bounded-queue capacity.
+    pub queue_capacity: usize,
+    /// Submissions rejected by admission control.
+    pub queue_rejections: usize,
+    /// True when the run was stopped by the kill switch before
+    /// finishing (resume to complete it).
+    pub aborted: bool,
+    /// Wall-clock milliseconds for the whole batch.
+    pub total_ms: f64,
+}
+
+impl BatchReport {
+    /// Jobs certified in this run.
+    pub fn done(&self) -> usize {
+        self.count(JobStatus::Done)
+    }
+
+    /// Jobs recovered from the journal.
+    pub fn resumed(&self) -> usize {
+        self.count(JobStatus::Resumed)
+    }
+
+    /// Jobs that exhausted their retries.
+    pub fn failed(&self) -> usize {
+        self.count(JobStatus::Failed)
+    }
+
+    fn count(&self, s: JobStatus) -> usize {
+        self.jobs.iter().filter(|j| j.status == s).count()
+    }
+
+    /// True when every expected job has a certified answer (fresh or
+    /// resumed) — the "zero lost jobs" acceptance condition.
+    pub fn is_complete(&self) -> bool {
+        !self.aborted && self.failed() == 0 && self.done() + self.resumed() == self.expected_jobs
+    }
+
+    /// Total job-level retry rounds consumed across the batch.
+    pub fn total_retries(&self) -> u64 {
+        self.jobs.iter().map(|j| j.retries as u64).sum()
+    }
+
+    /// Total breaker trips across all backends.
+    pub fn total_trips(&self) -> u64 {
+        self.breakers.iter().map(|b| b.trips).sum()
+    }
+
+    /// Serializes the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let jobs: Vec<String> = self
+            .jobs
+            .iter()
+            .map(|j| format!("    {}", j.to_json()))
+            .collect();
+        let breakers: Vec<String> = self
+            .breakers
+            .iter()
+            .map(|b| format!("    {}", b.to_json()))
+            .collect();
+        format!(
+            "{{\n  \"expected_jobs\": {},\n  \"done\": {},\n  \"resumed\": {},\n  \
+             \"failed\": {},\n  \"complete\": {},\n  \"aborted\": {},\n  \
+             \"workers\": {},\n  \"queue_capacity\": {},\n  \"queue_rejections\": {},\n  \
+             \"total_retries\": {},\n  \"breaker_trips\": {},\n  \"total_ms\": {:.3},\n  \
+             \"jobs\": [\n{}\n  ],\n  \"breakers\": [\n{}\n  ]\n}}\n",
+            self.expected_jobs,
+            self.done(),
+            self.resumed(),
+            self.failed(),
+            self.is_complete(),
+            self.aborted,
+            self.workers,
+            self.queue_capacity,
+            self.queue_rejections,
+            self.total_retries(),
+            self.total_trips(),
+            self.total_ms,
+            jobs.join(",\n"),
+            breakers.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_gpu_sim::SimError;
+
+    fn job(id: u64, status: JobStatus) -> JobReport {
+        JobReport {
+            id,
+            name: format!("job{id}"),
+            status,
+            backend: Some("gpu-sim".into()),
+            components: Some(3),
+            retries: 1,
+            attempts: vec![AttemptReport {
+                round: 0,
+                backend: "gpu-sim".into(),
+                attempt: 1,
+                certified: status != JobStatus::Failed,
+                error: None,
+            }],
+            error: None,
+            time_ms: 1.25,
+        }
+    }
+
+    fn report(jobs: Vec<JobReport>, expected: usize) -> BatchReport {
+        BatchReport {
+            jobs,
+            breakers: vec![BreakerReport {
+                backend: "gpu-sim".into(),
+                state: "open".into(),
+                trips: 2,
+                failures: 6,
+                successes: 1,
+            }],
+            expected_jobs: expected,
+            workers: 2,
+            queue_capacity: 8,
+            queue_rejections: 0,
+            aborted: false,
+            total_ms: 10.0,
+        }
+    }
+
+    #[test]
+    fn completeness_requires_every_job() {
+        let r = report(vec![job(0, JobStatus::Done), job(1, JobStatus::Resumed)], 2);
+        assert!(r.is_complete());
+        let r = report(vec![job(0, JobStatus::Done)], 2);
+        assert!(!r.is_complete(), "missing job");
+        let r = report(vec![job(0, JobStatus::Done), job(1, JobStatus::Failed)], 2);
+        assert!(!r.is_complete(), "failed job");
+        let mut r = report(vec![job(0, JobStatus::Done), job(1, JobStatus::Done)], 2);
+        r.aborted = true;
+        assert!(!r.is_complete(), "aborted run");
+    }
+
+    #[test]
+    fn json_shape_is_greppable() {
+        let r = report(vec![job(0, JobStatus::Done)], 1);
+        let j = r.to_json();
+        assert!(j.contains("\"complete\": true"));
+        assert!(j.contains("\"breaker_trips\": 2"));
+        assert!(j.contains("\"status\":\"done\""));
+        assert!(j.contains("\"state\":\"open\""));
+    }
+
+    #[test]
+    fn error_report_keeps_kernel_and_cycles() {
+        let e = EclError::Exhausted {
+            attempts: 2,
+            last: Some(Box::new(EclError::Sim(SimError::Watchdog {
+                kernel: "compute1".into(),
+                budget: 10,
+                spent: 22,
+            }))),
+        };
+        let er = ErrorReport::from_ecl(&e);
+        assert_eq!(er.kernel.as_deref(), Some("compute1"));
+        assert_eq!(er.spent_cycles, Some(22));
+        assert_eq!(er.budget_cycles, Some(10));
+        let j = er.to_json();
+        assert!(j.contains("\"kernel\":\"compute1\""));
+        assert!(j.contains("\"spent_cycles\":22"));
+    }
+}

@@ -7,7 +7,7 @@ use crate::fault::{FaultPlan, FaultRng};
 use crate::mem::{DevicePtr, GlobalMemory};
 use crate::profile::DeviceProfile;
 use crate::warp::{BlockCtx, WarpCtx};
-use crate::LANES;
+use crate::{Lanes, LANES};
 
 std::thread_local! {
     /// True while a `try_launch_*` call is on this thread's stack — the
@@ -307,6 +307,68 @@ impl Gpu {
             self.launch_blocks(name, num_blocks, body)
         }));
         result.map_err(|payload| Self::classify_abort(name, payload))
+    }
+
+    /// Cheap device self-test for circuit-breaker half-open probes.
+    ///
+    /// Launches one tiny diagnostic kernel under the *currently
+    /// installed* fault plan and watchdog budget — the exact machinery
+    /// real jobs run under — and verifies its output on the host. Each
+    /// thread CAS-publishes a known value into its own cell with the
+    /// same retry-loop shape production hook loops use (so spurious-CAS
+    /// injection is exercised), and all threads bump a shared
+    /// `atomicAdd` counter.
+    ///
+    /// Returns `Ok(())` when the downloaded results are exactly right;
+    /// a structured [`SimError`] when the launch aborted (watchdog trip
+    /// or memory fault); and a synthesized [`SimError::MemoryFault`]
+    /// when the kernel ran but produced wrong values — a device that
+    /// computes incorrectly must not be trusted with real jobs.
+    ///
+    /// Each probe allocates a small scratch buffer (probes are expected
+    /// to be rare: one per breaker half-open transition).
+    pub fn health_probe(&mut self) -> Result<(), SimError> {
+        const N: usize = 64;
+        let cells = self.alloc(N);
+        let counter = self.alloc(1);
+        let nu = N as u32;
+        self.try_launch_warps("health-probe", N, |w| {
+            let v = w.thread_ids();
+            let m = w.launch_mask() & v.lt_scalar(nu);
+            if m.none() {
+                return;
+            }
+            let want = v.map(|x| 2 * x + 1);
+            // CAS-publish with a load-back retry loop: under spurious
+            // contention the returned "old" value lies, but the memory
+            // state does not — exactly the discipline hook loops need.
+            let mut pending = m;
+            while pending.any() {
+                let _ = w.atomic_cas(cells, &v, &Lanes::splat(0), &want, pending);
+                let now = w.load(cells, &v, pending);
+                pending &= now.ne_mask(&want);
+                w.alu(1);
+            }
+            let _ = w.atomic_add(counter, &Lanes::splat(0), &Lanes::splat(1), m);
+        })?;
+        let got_cells = self.download(cells);
+        let got_count = self.download(counter)[0];
+        for (i, &c) in got_cells.iter().take(N).enumerate() {
+            let want = 2 * i as u32 + 1;
+            if c != want {
+                return Err(SimError::MemoryFault {
+                    kernel: "health-probe".to_string(),
+                    detail: format!("self-test cell {i}: got {c}, want {want}"),
+                });
+            }
+        }
+        if got_count != nu {
+            return Err(SimError::MemoryFault {
+                kernel: "health-probe".to_string(),
+                detail: format!("self-test counter: got {got_count}, want {nu}"),
+            });
+        }
+        Ok(())
     }
 
     /// Maps a caught launch panic to the error taxonomy: the watchdog's

@@ -102,6 +102,83 @@ impl FaultPlan {
     pub fn is_none(&self) -> bool {
         self.cas_spurious_permille == 0 && self.mem_delay_permille == 0 && !self.shuffle_warps
     }
+
+    /// Parses a command-line fault-plan spec so chaos runs are
+    /// reproducible outside the test suite.
+    ///
+    /// Named presets, optionally seeded: `none`, `cas-storm[:SEED]`,
+    /// `slow-memory[:SEED]`, `scheduler-chaos[:SEED]`,
+    /// `everything[:SEED]`. Custom plans are comma-separated fields:
+    /// `seed=N`, `cas=PERMILLE`, `mem=PERMILLE/CYCLES`, `shuffle` —
+    /// e.g. `seed=42,cas=300,mem=250/200,shuffle`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err("empty fault-plan spec".into());
+        }
+        let (head, seed_str) = match spec.split_once(':') {
+            Some((h, s)) => (h, Some(s)),
+            None => (spec, None),
+        };
+        let preset: Option<fn(u64) -> FaultPlan> = match head {
+            "none" => return Ok(FaultPlan::none()),
+            "cas-storm" => Some(FaultPlan::cas_storm),
+            "slow-memory" => Some(FaultPlan::slow_memory),
+            "scheduler-chaos" => Some(FaultPlan::scheduler_chaos),
+            "everything" => Some(FaultPlan::everything),
+            _ => None,
+        };
+        if let Some(make) = preset {
+            let seed = match seed_str {
+                Some(s) => s
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad fault-plan seed '{s}': {e}"))?,
+                None => 1,
+            };
+            return Ok(make(seed));
+        }
+
+        let mut plan = FaultPlan::none();
+        for field in spec.split(',') {
+            let field = field.trim();
+            match field.split_once('=') {
+                None if field == "shuffle" => plan.shuffle_warps = true,
+                None => {
+                    return Err(format!(
+                        "unknown fault-plan field '{field}' (expected a preset, \
+                         seed=N, cas=PERMILLE, mem=PERMILLE/CYCLES, or shuffle)"
+                    ))
+                }
+                Some(("seed", v)) => {
+                    plan.seed = v.parse().map_err(|e| format!("bad seed '{v}': {e}"))?;
+                }
+                Some(("cas", v)) => {
+                    plan.cas_spurious_permille = v
+                        .parse()
+                        .map_err(|e| format!("bad cas permille '{v}': {e}"))?;
+                    if plan.cas_spurious_permille > 1000 {
+                        return Err(format!("cas permille {v} out of range (0..=1000)"));
+                    }
+                }
+                Some(("mem", v)) => {
+                    let (p, c) = v
+                        .split_once('/')
+                        .ok_or_else(|| format!("mem needs PERMILLE/CYCLES, got '{v}'"))?;
+                    plan.mem_delay_permille = p
+                        .parse()
+                        .map_err(|e| format!("bad mem permille '{p}': {e}"))?;
+                    plan.mem_delay_cycles = c
+                        .parse()
+                        .map_err(|e| format!("bad mem cycles '{c}': {e}"))?;
+                    if plan.mem_delay_permille > 1000 {
+                        return Err(format!("mem permille {p} out of range (0..=1000)"));
+                    }
+                }
+                Some((k, _)) => return Err(format!("unknown fault-plan field '{k}'")),
+            }
+        }
+        Ok(plan)
+    }
 }
 
 impl Default for FaultPlan {
@@ -166,6 +243,40 @@ mod tests {
         assert!(!FaultPlan::slow_memory(1).is_none());
         assert!(!FaultPlan::scheduler_chaos(1).is_none());
         assert!(!FaultPlan::everything(1).is_none());
+    }
+
+    #[test]
+    fn parse_presets_and_custom_specs() {
+        assert_eq!(FaultPlan::parse("none").unwrap(), FaultPlan::none());
+        assert_eq!(
+            FaultPlan::parse("cas-storm:7").unwrap(),
+            FaultPlan::cas_storm(7)
+        );
+        assert_eq!(
+            FaultPlan::parse("everything:99").unwrap(),
+            FaultPlan::everything(99)
+        );
+        // Unseeded presets default to seed 1.
+        assert_eq!(
+            FaultPlan::parse("slow-memory").unwrap(),
+            FaultPlan::slow_memory(1)
+        );
+        let custom = FaultPlan::parse("seed=42,cas=300,mem=250/200,shuffle").unwrap();
+        assert_eq!(
+            custom,
+            FaultPlan {
+                seed: 42,
+                cas_spurious_permille: 300,
+                mem_delay_permille: 250,
+                mem_delay_cycles: 200,
+                shuffle_warps: true,
+            }
+        );
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("cas-storm:abc").is_err());
+        assert!(FaultPlan::parse("cas=1500").is_err());
+        assert!(FaultPlan::parse("mem=250").is_err());
+        assert!(FaultPlan::parse("bogus").is_err());
     }
 
     #[test]
