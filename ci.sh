@@ -64,4 +64,34 @@ for f in "$BATCH_DIR"/ref/*.labels; do
 done
 echo "    resume complete, results byte-identical"
 
+echo "==> serial vs host-parallel equivalence smoke"
+# The same graph labeled with the simulator serial and host-parallel
+# (--sim-workers 0 = one per core); certified labels must be
+# byte-identical between the modes.
+"$ECL" generate rmat16.sym -o "$BATCH_DIR/eq.ecl" --scale tiny > /dev/null
+"$ECL" components "$BATCH_DIR/eq.ecl" --algo gpu \
+    --labels "$BATCH_DIR/serial.labels" > /dev/null
+"$ECL" components "$BATCH_DIR/eq.ecl" --algo gpu --sim-workers 0 \
+    --labels "$BATCH_DIR/parallel.labels" > /dev/null
+cmp -s "$BATCH_DIR/serial.labels" "$BATCH_DIR/parallel.labels" \
+    || { echo "host-parallel labels differ from serial"; exit 1; }
+# And under fault injection, where interleavings diverge the most.
+"$ECL" components "$BATCH_DIR/eq.ecl" --algo gpu --fault-plan everything:7 \
+    --labels "$BATCH_DIR/serial-fault.labels" > /dev/null
+"$ECL" components "$BATCH_DIR/eq.ecl" --algo gpu --fault-plan everything:7 \
+    --sim-workers 3 --labels "$BATCH_DIR/parallel-fault.labels" > /dev/null
+cmp -s "$BATCH_DIR/serial-fault.labels" "$BATCH_DIR/parallel-fault.labels" \
+    || { echo "host-parallel labels differ from serial under faults"; exit 1; }
+echo "    serial and host-parallel labels byte-identical"
+
+echo "==> simspeed self-timing"
+# Wall-clock of the simulator itself, serial vs host-parallel; the
+# experiment asserts byte-identical certified labels internally. The
+# recorded speedup is hardware-dependent (<= 1 on a single-core host).
+./target/release/harness simspeed --exec parallel --scale tiny \
+    --json BENCH_simspeed.json > /dev/null
+grep -q '"experiment":"simspeed"' BENCH_simspeed.json \
+    || { echo "BENCH_simspeed.json missing simspeed records"; exit 1; }
+echo "    simspeed records written to BENCH_simspeed.json"
+
 echo "CI OK"

@@ -2,21 +2,28 @@
 //!
 //! ```text
 //! harness [EXPERIMENT ...] [--scale tiny|bench|large] [--threads N]
-//!         [--verify] [--json FILE]
+//!         [--verify] [--json FILE] [--exec serial|parallel[:N]]
 //!
 //! Experiments:
 //!   table2  fig7  fig8  table3  table4  fig9  fig10
 //!   table5  table6  table7  table8  table9  table10  fig17
+//!   simspeed    (simulator wall-clock: serial vs host-parallel)
 //!   internals   (= fig7 fig8 table3 table4 fig9 fig10)
 //!   all         (everything)
 //! ```
+//!
+//! `--exec parallel[:N]` runs GPU experiments with the simulator in
+//! host-parallel mode (N worker threads, 0/omitted = one per core):
+//! labels stay certified-identical but cycle-derived "ms" become
+//! interleaving-dependent, so recorded timing tables should be produced
+//! with the default `--exec serial`.
 //!
 //! Absolute GPU numbers are simulated cycles converted at the device
 //! clock; CPU numbers are host wall-clock. The paper's figures are all
 //! *normalized* ratios, which is what these tables reproduce.
 
 use ecl_bench::experiments as exp;
-use ecl_gpu_sim::DeviceProfile;
+use ecl_gpu_sim::{DeviceProfile, ExecMode};
 use ecl_graph::catalog::Scale;
 
 fn main() {
@@ -26,6 +33,7 @@ fn main() {
     let mut selected: Vec<String> = Vec::new();
     let mut verify = false;
     let mut json_path: Option<String> = None;
+    let mut exec = ExecMode::Serial;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -49,6 +57,21 @@ fn main() {
                 }
             }
             "--verify" => verify = true,
+            "--exec" => {
+                exec = match it.next() {
+                    Some(spec) => match ExecMode::parse(spec) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            eprintln!("--exec: {e}");
+                            std::process::exit(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("--exec needs serial|parallel[:N]");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--json" => {
                 json_path = it.next().cloned();
                 if json_path.is_none() {
@@ -60,11 +83,15 @@ fn main() {
                 println!(
                     "usage: harness [EXPERIMENT ...] [--scale tiny|bench|large] [--threads N]"
                 );
-                println!("               [--verify] [--json FILE]");
+                println!("               [--verify] [--json FILE] [--exec serial|parallel[:N]]");
                 println!(
                     "experiments: table1 table2 fig7 fig8 table3 table4 fig9 fig10 table5 table6"
                 );
-                println!("             table7 table8 table9 table10 fig17 ordering internals all");
+                println!(
+                    "             table7 table8 table9 table10 fig17 ordering simspeed internals all"
+                );
+                println!("--exec parallel[:N] runs GPU experiments host-parallel (0 = per core);");
+                println!("         timing tables should keep the default serial mode");
                 println!("--verify certifies every code's labels with the independent checker");
                 println!("         (outside the timed region) and emits JSON records; --json");
                 println!("         chooses the output file (default bench-verify.json)");
@@ -111,6 +138,7 @@ fn main() {
             "fig17" => vec!["fig17"],
             "ordering" => vec!["ordering"],
             "batch" => vec!["batch"],
+            "simspeed" => vec!["simspeed"],
             other => {
                 eprintln!("unknown experiment '{other}' (see --help)");
                 std::process::exit(2);
@@ -134,17 +162,24 @@ fn main() {
             "table4" => exp::table4(scale, &titan),
             "fig9" => exp::fig9(scale, &titan),
             "fig10" => exp::fig10(scale, &titan),
-            "table5" => exp::gpu_comparison(scale, &titan),
-            "table6" => exp::gpu_comparison(scale, &k40),
+            "table5" => exp::gpu_comparison(scale, &titan, exec),
+            "table6" => exp::gpu_comparison(scale, &k40, exec),
             "table7" => exp::cpu_parallel_comparison(scale, t_big, "Table 7 / Fig. 13"),
             "table8" => exp::cpu_parallel_comparison(scale, t_small, "Table 8 / Fig. 14"),
             "table9" => exp::serial_comparison(scale, "Table 9 / Fig. 15"),
             "table10" => {
                 exp::serial_comparison(scale, "Table 10 / Fig. 16 (same host; see EXPERIMENTS.md)")
             }
-            "fig17" => exp::fig17(scale, t_big),
+            "fig17" => exp::fig17(scale, t_big, exec),
             "ordering" => exp::ordering(scale, &titan),
             "batch" => records.extend(exp::batch_throughput(t_big)),
+            "simspeed" => records.extend(exp::simspeed(
+                scale,
+                match exec {
+                    ExecMode::HostParallel(n) => n,
+                    ExecMode::Serial => 0,
+                },
+            )),
             _ => unreachable!(),
         }
     }
@@ -153,7 +188,7 @@ fn main() {
     // runs the certification sweep; `--json` writes whatever records the
     // selected experiments produced.
     if verify || (json_path.is_some() && records.is_empty()) {
-        records.extend(exp::verify_sweep(scale, t_big, &titan));
+        records.extend(exp::verify_sweep(scale, t_big, &titan, exec));
     }
     if (verify || json_path.is_some()) && !records.is_empty() {
         let path = json_path.unwrap_or_else(|| "bench-verify.json".to_string());

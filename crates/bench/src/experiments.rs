@@ -3,10 +3,12 @@
 //! run against the paper's numbers.
 
 use crate::report::{BenchRecord, VerifyOutcome};
-use crate::runners::{run_gpu_code, try_run_gpu_code, CPU_PAR_CODES, GPU_CODES, SERIAL_CODES};
+use crate::runners::{
+    run_gpu_code, try_run_gpu_code, CertifiedGpuRun, CPU_PAR_CODES, GPU_CODES, SERIAL_CODES,
+};
 use crate::{geomean, median_time_ms, paper_graphs, print_table};
 use ecl_cc::{EclConfig, FiniKind, InitKind, JumpKind};
-use ecl_gpu_sim::{DeviceProfile, Gpu};
+use ecl_gpu_sim::{DeviceProfile, ExecMode, Gpu};
 use ecl_graph::catalog::Scale;
 use ecl_graph::CsrGraph;
 
@@ -374,14 +376,14 @@ pub fn fig10(scale: Scale, profile: &DeviceProfile) {
 
 /// Tables 5/6 + Figs. 11/12: absolute simulated runtimes of the five GPU
 /// codes, plus each baseline's slowdown relative to ECL-CC.
-pub fn gpu_comparison(scale: Scale, profile: &DeviceProfile) {
+pub fn gpu_comparison(scale: Scale, profile: &DeviceProfile, exec: ExecMode) {
     let graphs = paper_graphs(scale);
     let mut rows = Vec::new();
     let mut rel: Vec<Vec<f64>> = vec![Vec::new(); GPU_CODES.len() - 1];
     for (name, g) in &graphs {
         let times: Vec<f64> = GPU_CODES
             .iter()
-            .map(|&(_, r)| run_gpu_code(r, profile, g))
+            .map(|&(_, r)| run_gpu_code(r, profile, g, exec))
             .collect();
         let mut row = vec![name.to_string()];
         for &t in &times {
@@ -591,14 +593,14 @@ pub fn ordering(scale: Scale, profile: &DeviceProfile) {
 /// converted at the device clock while CPU times are host wall-clock, so
 /// the *cross-family* ratios mix a simulator with real silicon. Ratios
 /// within each family are directly comparable.
-pub fn fig17(scale: Scale, threads: usize) {
+pub fn fig17(scale: Scale, threads: usize, exec: ExecMode) {
     let graphs = paper_graphs(scale);
     let titan = DeviceProfile::titan_x();
 
     // Per-graph baseline: GPU ECL-CC simulated ms.
     let base: Vec<f64> = graphs
         .iter()
-        .map(|(_, g)| run_gpu_code(GPU_CODES[0].1, &titan, g))
+        .map(|(_, g)| run_gpu_code(GPU_CODES[0].1, &titan, g, exec))
         .collect();
 
     // Each entry holds per-graph ratios to the baseline, aligned by graph
@@ -609,7 +611,7 @@ pub fn fig17(scale: Scale, threads: usize) {
         let ratios: Vec<f64> = graphs
             .iter()
             .enumerate()
-            .map(|(i, (_, g))| run_gpu_code(r, &titan, g) / base[i])
+            .map(|(i, (_, g))| run_gpu_code(r, &titan, g, exec) / base[i])
             .collect();
         entries.push((format!("GPU {name}"), ratios));
     }
@@ -655,7 +657,12 @@ pub fn fig17(scale: Scale, threads: usize) {
 /// quick graph set, certifies each labeling with the independent checker
 /// *outside* the timed region, and returns machine-readable records for
 /// JSON emission. Prints a summary table as it goes.
-pub fn verify_sweep(scale: Scale, threads: usize, profile: &DeviceProfile) -> Vec<BenchRecord> {
+pub fn verify_sweep(
+    scale: Scale,
+    threads: usize,
+    profile: &DeviceProfile,
+    exec: ExecMode,
+) -> Vec<BenchRecord> {
     let graphs = crate::quick_graphs(scale);
     let mut records = Vec::new();
     let mut rows = Vec::new();
@@ -702,7 +709,7 @@ pub fn verify_sweep(scale: Scale, threads: usize, profile: &DeviceProfile) -> Ve
 
     for (gname, g) in &graphs {
         for &(cname, r) in &GPU_CODES {
-            match try_run_gpu_code(r, profile, g) {
+            match try_run_gpu_code(r, profile, g, exec) {
                 Ok(run) => push(
                     &mut records,
                     &mut rows,
@@ -766,6 +773,85 @@ pub fn verify_sweep(scale: Scale, threads: usize, profile: &DeviceProfile) -> Ve
     print_table(
         "Verification sweep — every code certified outside the timed region",
         &["Graph", "Code", "ms", "Certification"],
+        &rows,
+    );
+    records
+}
+
+/// `simspeed` experiment: wall-clock self-timing of the *simulator* —
+/// GPU ECL-CC executed serially vs host-parallel on the quick graph set.
+/// `workers = 0` means one per core. Every host-parallel labeling is
+/// compared byte-for-byte against the serial labeling and certified by
+/// the independent checker, so the reported speedup only covers runs
+/// proven equivalent. Times are host milliseconds (this measures the
+/// simulator, not the modeled GPU); on a single-core host expect a
+/// speedup ≤ 1 — the interesting column is still the equivalence.
+pub fn simspeed(scale: Scale, workers: usize) -> Vec<BenchRecord> {
+    let graphs = crate::quick_graphs(scale);
+    let profile = DeviceProfile::titan_x();
+    let resolved = ExecMode::HostParallel(workers).resolved_workers();
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+
+    for (gname, g) in &graphs {
+        // Best-of-3 per mode: simulator wall-clock is noisy on a shared
+        // host, and the fastest run is the least-perturbed one.
+        let best = |exec: ExecMode| -> CertifiedGpuRun {
+            let mut runs: Vec<CertifiedGpuRun> = (0..3)
+                .map(|_| {
+                    try_run_gpu_code(GPU_CODES[0].1, &profile, g, exec)
+                        .expect("ECL-CC must certify in every exec mode")
+                })
+                .collect();
+            runs.sort_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms));
+            runs.remove(0)
+        };
+        let serial = best(ExecMode::Serial);
+        let par = best(ExecMode::HostParallel(workers));
+        assert_eq!(
+            par.labels, serial.labels,
+            "{gname}: host-parallel labels diverged from serial"
+        );
+        let speedup = serial.wall_ms / par.wall_ms.max(1e-9);
+        speedups.push(speedup);
+        rows.push(vec![
+            gname.to_string(),
+            format!("{:.2}", serial.wall_ms),
+            format!("{:.2}", par.wall_ms),
+            format!("{speedup:.2}x"),
+        ]);
+        for (code, run) in [
+            ("sim-serial".to_string(), &serial),
+            (format!("sim-parallel:{resolved}"), &par),
+        ] {
+            records.push(BenchRecord {
+                experiment: "simspeed".into(),
+                graph: gname.to_string(),
+                code,
+                time_ms: run.wall_ms,
+                simulated: false,
+                verified: Some(VerifyOutcome {
+                    pass: true,
+                    components: run.certificate.num_components,
+                    detail: String::new(),
+                }),
+            });
+        }
+    }
+
+    rows.push(vec![
+        "geomean".into(),
+        String::new(),
+        String::new(),
+        format!("{:.2}x", geomean(&speedups)),
+    ]);
+    print_table(
+        &format!(
+            "simspeed — simulator wall-clock, serial vs host-parallel \
+             ({resolved} workers), labels certified identical"
+        ),
+        &["Graph", "serial ms", "parallel ms", "speedup"],
         &rows,
     );
     records

@@ -17,7 +17,7 @@
 #![warn(missing_docs)]
 
 use ecl_cc::{CcResult, EclConfig};
-use ecl_gpu_sim::{DeviceProfile, FaultPlan, Gpu};
+use ecl_gpu_sim::{DeviceProfile, ExecMode, FaultPlan, Gpu};
 use ecl_graph::{io, CsrGraph};
 use std::path::Path;
 
@@ -152,6 +152,18 @@ pub const ALGORITHMS: &[&str] = &[
 
 /// Runs the named algorithm; `Err` on unknown names or refusals.
 pub fn run_algorithm(name: &str, g: &CsrGraph, threads: usize) -> Result<CcResult, String> {
+    run_algorithm_ex(name, g, threads, ExecMode::Serial)
+}
+
+/// [`run_algorithm`] with an explicit GPU-simulator execution mode.
+/// Non-GPU algorithms ignore `exec`; GPU baselines stay serial (their
+/// per-kernel timing is the point of running them).
+pub fn run_algorithm_ex(
+    name: &str,
+    g: &CsrGraph,
+    threads: usize,
+    exec: ExecMode,
+) -> Result<CcResult, String> {
     let gpu_run = |f: fn(&mut Gpu, &CsrGraph) -> ecl_baselines::gpu::GpuBaselineRun| {
         let mut gpu = Gpu::new(DeviceProfile::titan_x());
         f(&mut gpu, g).result
@@ -161,6 +173,7 @@ pub fn run_algorithm(name: &str, g: &CsrGraph, threads: usize) -> Result<CcResul
         "parallel" => ecl_cc::parallel::run(g, threads, &EclConfig::default()),
         "gpu" => {
             let mut gpu = Gpu::new(DeviceProfile::titan_x());
+            gpu.set_exec_mode(exec);
             ecl_cc::gpu::run(&mut gpu, g, &EclConfig::default()).0
         }
         "soman" => gpu_run(ecl_baselines::gpu::soman::run),
@@ -200,10 +213,22 @@ pub fn run_ladder(
     watchdog: Option<u64>,
     fault: FaultPlan,
 ) -> Result<ecl_cc::LadderOutcome, String> {
+    run_ladder_ex(g, threads, watchdog, fault, ExecMode::Serial)
+}
+
+/// [`run_ladder`] with an explicit GPU-stage execution mode.
+pub fn run_ladder_ex(
+    g: &CsrGraph,
+    threads: usize,
+    watchdog: Option<u64>,
+    fault: FaultPlan,
+    exec: ExecMode,
+) -> Result<ecl_cc::LadderOutcome, String> {
     let cfg = ecl_cc::LadderConfig {
         threads,
         watchdog,
         fault,
+        exec,
         profile: DeviceProfile::titan_x(),
         ..ecl_cc::LadderConfig::default()
     };
@@ -218,10 +243,12 @@ pub fn run_gpu_with_fault(
     g: &CsrGraph,
     fault: FaultPlan,
     watchdog: Option<u64>,
+    exec: ExecMode,
 ) -> Result<CcResult, String> {
     let mut gpu = Gpu::new(DeviceProfile::titan_x());
     gpu.set_fault_plan(fault);
     gpu.set_watchdog(watchdog);
+    gpu.set_exec_mode(exec);
     ecl_cc::gpu::try_run(&mut gpu, g, &EclConfig::default())
         .map(|(r, _)| r)
         .map_err(|e| e.to_string())

@@ -1,10 +1,10 @@
 //! The `ecl-cc` command-line tool. See `lib.rs` for the implementation.
 
 use ecl_cc_cli::{
-    generate_catalog, parse_label_file, read_graph, run_algorithm, run_gpu_with_fault, run_ladder,
-    write_graph, Format, ALGORITHMS,
+    generate_catalog, parse_label_file, read_graph, run_algorithm, run_algorithm_ex,
+    run_gpu_with_fault, run_ladder_ex, write_graph, Format, ALGORITHMS,
 };
-use ecl_gpu_sim::FaultPlan;
+use ecl_gpu_sim::{ExecMode, FaultPlan};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -13,26 +13,32 @@ usage: ecl-cc <command> [args]
 
 commands:
   components <file> [--algo NAME|auto] [--threads N] [--format F] [--labels OUT]
-             [--watchdog CYCLES] [--fault-plan SPEC]
+             [--watchdog CYCLES] [--fault-plan SPEC] [--sim-workers N]
       label connected components (default algo: parallel); `--algo auto`
       runs the fallback ladder (simulated GPU -> multicore CPU -> serial),
       certifying each stage's output and degrading on failure; --watchdog
       sets the GPU stage's per-kernel cycle budget; --fault-plan installs
       an injection plan on the simulated GPU (gpu/auto only): none,
       cas-storm[:SEED], slow-memory[:SEED], scheduler-chaos[:SEED],
-      everything[:SEED], or custom `seed=N,cas=PERMILLE,mem=PERMILLE/CYC,shuffle`
+      everything[:SEED], or custom `seed=N,cas=PERMILLE,mem=PERMILLE/CYC,shuffle`;
+      --sim-workers N runs the simulated GPU host-parallel on N threads
+      (0 = one per core) — labels stay certified-identical, cycle counts
+      become indicative only; omit it for deterministic serial timing
   batch --jobs FILE [--workers N] [--queue N] [--deadline-ms MS] [--retries N]
         [--journal FILE] [--resume FILE] [--results DIR] [--report FILE]
         [--fault-plan SPEC] [--watchdog CYCLES] [--threads N] [--reject-full]
         [--breaker-threshold N] [--breaker-cooldown-ms MS] [--breaker-probes N]
-        [--kill-after N]
+        [--kill-after N] [--sim-workers N]
       run a batch of CC jobs (one `<name> <graph-spec>` per line in FILE)
       through the certified fallback ladder on a worker pool, with
       retry/backoff, per-backend circuit breakers, and a crash-safe
       journal; --resume continues a killed run from its journal;
       the machine-readable JSON report goes to --report or stdout;
-      --kill-after N simulates SIGKILL after N completed jobs (testing)
+      --kill-after N simulates SIGKILL after N completed jobs (testing);
+      --sim-workers N makes GPU stages host-parallel (0 = auto: cores
+      are split between batch workers and per-device SM threads)
   verify <file> [--labels FILE | --algo NAME] [--threads N] [--format F]
+         [--sim-workers N]
       certify a labeling with the independent O(n+m) checker: edge
       consistency, representative fixpoints, component count vs BFS
   stats <file> [--format F]
@@ -94,6 +100,15 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         .map(|t| t.parse().map_err(|e| format!("--threads: {e}")))
         .transpose()?
         .unwrap_or_else(ecl_parallel::default_threads);
+    // GPU-simulator execution mode: serial (deterministic cycles) unless
+    // --sim-workers asks for host-parallel throughput.
+    let sim_exec: ExecMode = match flag(args, "--sim-workers") {
+        Some(v) => ExecMode::HostParallel(
+            v.parse()
+                .map_err(|e| format!("--sim-workers: {e} (use 0 for one per core)"))?,
+        ),
+        None => ExecMode::Serial,
+    };
     match args[0].as_str() {
         "components" => {
             let path = positional(args, 0)?;
@@ -116,7 +131,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let g = read_graph(&path, fmt_flag(args, "--format")?)?;
             let t = Instant::now();
             let (r, how) = if algo == "auto" {
-                let out = run_ladder(&g, threads, watchdog, fault)?;
+                let out = run_ladder_ex(&g, threads, watchdog, fault, sim_exec)?;
                 for a in &out.attempts {
                     if let Some(reason) = a.outcome.reason() {
                         eprintln!(
@@ -129,10 +144,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 (out.result, format!("auto:{}", out.backend.name()))
             } else if algo == "gpu" && (watchdog.is_some() || flag(args, "--fault-plan").is_some())
             {
-                let r = run_gpu_with_fault(&g, fault, watchdog)?;
+                let r = run_gpu_with_fault(&g, fault, watchdog, sim_exec)?;
                 (r, "gpu(fault-injected)".to_string())
             } else {
-                let r = run_algorithm(&algo, &g, threads)?;
+                let r = run_algorithm_ex(&algo, &g, threads, sim_exec)?;
                 (r, algo.clone())
             };
             let elapsed = t.elapsed();
@@ -172,6 +187,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let mut cfg = ecl_engine::EngineConfig {
                 ladder: ecl_cc::LadderConfig {
                     threads,
+                    exec: sim_exec,
                     ..ecl_cc::LadderConfig::default()
                 },
                 ..ecl_engine::EngineConfig::default()
@@ -259,7 +275,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 }
                 None => {
                     let algo = flag(args, "--algo").unwrap_or_else(|| "parallel".into());
-                    let r = run_algorithm(&algo, &g, threads)?;
+                    let r = run_algorithm_ex(&algo, &g, threads, sim_exec)?;
                     (r.labels, format!("algorithm `{algo}`"))
                 }
             };

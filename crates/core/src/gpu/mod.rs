@@ -131,7 +131,12 @@ pub fn try_run(
     let wl = gpu.alloc(n.max(1));
     let wlctr = gpu.alloc(2);
 
-    let mut paths = cfg.record_path_lengths.then(PathLengthStats::default);
+    // Behind a mutex so the kernel closures are `Fn + Sync` for the
+    // mode-aware `*_sync` launches; in serial mode the lock is always
+    // uncontended and the probe stays untimed either way.
+    let paths = cfg
+        .record_path_lengths
+        .then(|| std::sync::Mutex::new(PathLengthStats::default()));
 
     let nu = n as u32;
     let total = gpu.suggested_threads(n.max(1));
@@ -139,7 +144,7 @@ pub fn try_run(
 
     // ---------------- kernel 1: init ----------------------------------
     let init_kind = cfg.init;
-    gpu.try_launch_warps("init", total, |w| {
+    gpu.try_launch_warps_sync("init", total, |w| {
         let mut v = w.thread_ids();
         loop {
             let m = w.launch_mask() & v.lt_scalar(nu);
@@ -186,7 +191,7 @@ pub fn try_run(
     let jump = cfg.jump;
     let warp_thresh = cfg.warp_threshold as u32;
     let block_thresh = cfg.block_threshold as u32;
-    gpu.try_launch_warps("compute1", total, |w| {
+    gpu.try_launch_warps_sync("compute1", total, |w| {
         let mut v = w.thread_ids();
         loop {
             let m = w.launch_mask() & v.lt_scalar(nu);
@@ -215,8 +220,9 @@ pub fn try_run(
             // Process low-degree vertices immediately.
             let small = m & deg.le(&Lanes::splat(warp_thresh));
             if small.any() {
-                if let Some(acc) = paths.as_mut() {
-                    acc.absorb(&probe_path_lengths(w, parent, &v, small), small);
+                if let Some(acc) = &paths {
+                    let lens = probe_path_lengths(w, parent, &v, small);
+                    acc.lock().unwrap().absorb(&lens, small);
                 }
                 let mut v_rep = warp_find(w, parent, &v, small, jump);
                 let mut i = beg;
@@ -226,8 +232,9 @@ pub fn try_run(
                     // Only one direction of each undirected edge (v > u).
                     let proc = e & u.lt(&v);
                     if proc.any() {
-                        if let Some(acc) = paths.as_mut() {
-                            acc.absorb(&probe_path_lengths(w, parent, &u, proc), proc);
+                        if let Some(acc) = &paths {
+                            let lens = probe_path_lengths(w, parent, &u, proc);
+                            acc.lock().unwrap().absorb(&lens, proc);
                         }
                         let u_rep = warp_find(w, parent, &u, proc, jump);
                         let merged = warp_hook(w, parent, &u_rep, &v_rep, proc);
@@ -249,18 +256,16 @@ pub fn try_run(
     let (mid_count, big_count) = (ctr[0], ctr[1]);
 
     // ---------------- kernel 3: compute2 (warp granularity) ------------
-    gpu.try_launch_warps("compute2", total, |w| {
+    gpu.try_launch_warps_sync("compute2", total, |w| {
         let num_warps = (w.total_threads() as usize / LANES) as u32;
         let mut wi = w.thread_ids().get(0) / LANES as u32;
         while wi < mid_count {
             let v = w.load_uniform(wl, wi);
             let beg = w.load_uniform(nidx, v);
             let end = w.load_uniform(nidx, v + 1);
-            if let Some(acc) = paths.as_mut() {
-                acc.absorb(
-                    &probe_path_lengths(w, parent, &Lanes::splat(v), Mask(1)),
-                    Mask(1),
-                );
+            if let Some(acc) = &paths {
+                let lens = probe_path_lengths(w, parent, &Lanes::splat(v), Mask(1));
+                acc.lock().unwrap().absorb(&lens, Mask(1));
             }
             let v_rep0 = warp_find(w, parent, &Lanes::splat(v), Mask(1), jump).get(0);
             let mut v_rep = Lanes::splat(v_rep0);
@@ -272,8 +277,9 @@ pub fn try_run(
                 let u = w.load(nlist, &idx, m);
                 let proc = m & u.lt(&vv);
                 if proc.any() {
-                    if let Some(acc) = paths.as_mut() {
-                        acc.absorb(&probe_path_lengths(w, parent, &u, proc), proc);
+                    if let Some(acc) = &paths {
+                        let lens = probe_path_lengths(w, parent, &u, proc);
+                        acc.lock().unwrap().absorb(&lens, proc);
                     }
                     let u_rep = warp_find(w, parent, &u, proc, jump);
                     let merged = warp_hook(w, parent, &u_rep, &v_rep, proc);
@@ -290,7 +296,7 @@ pub fn try_run(
     // ---------------- kernel 4: compute3 (block granularity) -----------
     let nblocks = (gpu.profile().num_sms * 4).max(1);
     let tpb = gpu.profile().threads_per_block as u32;
-    gpu.try_launch_blocks("compute3", nblocks, |b| {
+    gpu.try_launch_blocks_sync("compute3", nblocks, |b| {
         let mut j = b.block_idx() as u32;
         let step = b.num_blocks() as u32;
         while j < big_count {
@@ -299,12 +305,10 @@ pub fn try_run(
             let end = b.load_uniform(nidx, v + 1);
             b.for_each_warp(|w| {
                 let warp_in_block = (w.thread_ids().get(0) % tpb) / LANES as u32;
-                if let Some(acc) = paths.as_mut() {
+                if let Some(acc) = &paths {
                     if warp_in_block == 0 {
-                        acc.absorb(
-                            &probe_path_lengths(w, parent, &Lanes::splat(v), Mask(1)),
-                            Mask(1),
-                        );
+                        let lens = probe_path_lengths(w, parent, &Lanes::splat(v), Mask(1));
+                        acc.lock().unwrap().absorb(&lens, Mask(1));
                     }
                 }
                 let v_rep0 = warp_find(w, parent, &Lanes::splat(v), Mask(1), jump).get(0);
@@ -317,8 +321,9 @@ pub fn try_run(
                     let u = w.load(nlist, &idx, m);
                     let proc = m & u.lt(&vv);
                     if proc.any() {
-                        if let Some(acc) = paths.as_mut() {
-                            acc.absorb(&probe_path_lengths(w, parent, &u, proc), proc);
+                        if let Some(acc) = &paths {
+                            let lens = probe_path_lengths(w, parent, &u, proc);
+                            acc.lock().unwrap().absorb(&lens, proc);
                         }
                         let u_rep = warp_find(w, parent, &u, proc, jump);
                         let merged = warp_hook(w, parent, &u_rep, &v_rep, proc);
@@ -334,7 +339,7 @@ pub fn try_run(
 
     // ---------------- kernel 5: finalize -------------------------------
     let fini = cfg.fini;
-    gpu.try_launch_warps("finalize", total, |w| {
+    gpu.try_launch_warps_sync("finalize", total, |w| {
         let mut v = w.thread_ids();
         loop {
             let m = w.launch_mask() & v.lt_scalar(nu);
@@ -370,7 +375,7 @@ pub fn try_run(
         kernels: gpu.kernel_stats()[kernels_before..].to_vec(),
         worklist_mid: mid_count as usize,
         worklist_big: big_count as usize,
-        path_lengths: paths,
+        path_lengths: paths.map(|m| m.into_inner().unwrap()),
     };
     Ok((CcResult::new(labels), stats))
 }

@@ -23,7 +23,7 @@ use crate::config::EclConfig;
 use crate::error::EclError;
 use crate::result::CcResult;
 use crate::{gpu, parallel, serial};
-use ecl_gpu_sim::{DeviceProfile, FaultPlan, Gpu};
+use ecl_gpu_sim::{DeviceProfile, ExecMode, FaultPlan, Gpu};
 use ecl_graph::CsrGraph;
 use ecl_verify::Certificate;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -69,6 +69,11 @@ pub struct LadderConfig {
     pub fault: FaultPlan,
     /// Per-kernel cycle budget for the GPU watchdog, if any.
     pub watchdog: Option<u64>,
+    /// Execution mode for the GPU-simulator stage. Serial (the default)
+    /// gives reproducible cycles; [`ExecMode::HostParallel`] trades cycle
+    /// determinism for wall-clock throughput — safe here because every
+    /// ladder answer is certified before being accepted.
+    pub exec: ExecMode,
 }
 
 impl Default for LadderConfig {
@@ -81,6 +86,7 @@ impl Default for LadderConfig {
             profile: DeviceProfile::test_tiny(),
             fault: FaultPlan::none(),
             watchdog: None,
+            exec: ExecMode::Serial,
         }
     }
 }
@@ -209,6 +215,7 @@ fn run_stage(
                 plan.seed = plan.seed.wrapping_add(attempt as u64 - 1);
                 device.set_fault_plan(plan);
                 device.set_watchdog(cfg.watchdog);
+                device.set_exec_mode(cfg.exec);
                 gpu::try_run(&mut device, g, &cfg.cc).map(|(r, _)| r)
             }));
             match caught {

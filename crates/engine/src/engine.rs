@@ -31,10 +31,10 @@ use crate::breaker::{Admission, BreakerConfig, BreakerSet, BACKENDS};
 use crate::journal::{self, JournalEntry, JournalWriter};
 use crate::queue::{BoundedQueue, PushError};
 use crate::report::{AttemptReport, BatchReport, BreakerReport, ErrorReport, JobReport, JobStatus};
-use crate::spec::{jobs_digest, JobSpec};
+use crate::spec::{jobs_digest, GraphStore, JobSpec};
 use ecl_cc::ladder::{self, AttemptOutcome, Backend, LadderConfig};
 use ecl_cc::EclError;
-use ecl_gpu_sim::Gpu;
+use ecl_gpu_sim::{ExecMode, Gpu};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -115,6 +115,12 @@ struct Shared<'a> {
     reports: Mutex<Vec<JobReport>>,
     recorded: AtomicUsize,
     killed: AtomicBool,
+    /// Dedup cache: identical graph specs across jobs and retry rounds
+    /// are built once and shared by `Arc`.
+    graphs: GraphStore,
+    /// GPU exec mode with `HostParallel(0)` (auto) already resolved
+    /// against the worker count — see [`budget_exec_mode`].
+    exec: ExecMode,
 }
 
 impl Shared<'_> {
@@ -185,6 +191,8 @@ pub fn run_batch(jobs: &[JobSpec], cfg: &EngineConfig) -> Result<BatchReport, St
         reports: Mutex::new(Vec::new()),
         recorded: AtomicUsize::new(0),
         killed: AtomicBool::new(false),
+        graphs: GraphStore::new(),
+        exec: budget_exec_mode(cfg.ladder.exec, cfg.workers.max(1)),
     };
 
     // Recovered jobs go straight into the report.
@@ -280,6 +288,24 @@ pub fn run_batch(jobs: &[JobSpec], cfg: &EngineConfig) -> Result<BatchReport, St
     })
 }
 
+/// Divides the host's cores between engine workers and per-worker SM
+/// simulation threads. `HostParallel(0)` means "auto": with W engine
+/// workers each already running jobs concurrently, each simulated device
+/// gets `cores / W` SM threads (at least 1, where `HostParallel(1)`
+/// collapses to the cheaper serial path in the device). Explicit modes
+/// pass through untouched — the operator asked for exactly that.
+fn budget_exec_mode(requested: ExecMode, workers: usize) -> ExecMode {
+    match requested {
+        ExecMode::HostParallel(0) => {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            ExecMode::HostParallel((cores / workers.max(1)).max(1))
+        }
+        other => other,
+    }
+}
+
 fn worker_loop(shared: &Shared<'_>) {
     while let Some(job) = shared.queue.pop() {
         if shared.killed() {
@@ -298,7 +324,7 @@ fn process_job(shared: &Shared<'_>, job: &JobSpec) -> Option<JobReport> {
     let cfg = shared.cfg;
     let t0 = Instant::now();
 
-    let graph = match job.graph.build() {
+    let graph = match shared.graphs.get(&job.graph) {
         Ok(g) => g,
         Err(e) => {
             // Inputs do not heal: fail without burning retries.
@@ -337,6 +363,7 @@ fn process_job(shared: &Shared<'_>, job: &JobSpec) -> Option<JobReport> {
         // per-attempt reseed: deterministic, but transient injected
         // faults do not repeat across rounds.
         let mut ladder_cfg = cfg.ladder.clone();
+        ladder_cfg.exec = shared.exec;
         ladder_cfg.fault.seed = ladder_cfg
             .fault
             .seed

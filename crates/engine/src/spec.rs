@@ -21,7 +21,10 @@
 
 use crate::journal::fnv1a;
 use ecl_graph::{generate, io, CsrGraph};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// How a job's input graph is obtained.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -201,6 +204,67 @@ pub fn parse_jobs(text: &str) -> Result<Vec<JobSpec>, String> {
     Ok(jobs)
 }
 
+/// Deduplicating graph store shared by all engine workers.
+///
+/// Batches routinely repeat the same input graph — sweeps over fault
+/// seeds, retries of flaky jobs, and resumed runs all rebuild identical
+/// [`GraphSpec`]s. Building a graph (or re-reading it from disk) is the
+/// most expensive per-job setup cost, so the store builds each distinct
+/// spec once, keyed by its [`GraphSpec::canonical`] string, and hands out
+/// cheap [`Arc`] clones. Failures are *not* cached: a job whose graph
+/// file is missing should see the real error again on retry, after the
+/// operator had a chance to fix it.
+#[derive(Debug, Default)]
+pub struct GraphStore {
+    cache: Mutex<HashMap<String, Arc<CsrGraph>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GraphStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        GraphStore::default()
+    }
+
+    /// Returns the graph for `spec`, building it on first use.
+    ///
+    /// The build runs *outside* the lock so a slow `file:` read on one
+    /// worker never stalls the others; if two workers race on the same
+    /// spec, the first insertion wins and the duplicate build is dropped.
+    pub fn get(&self, spec: &GraphSpec) -> Result<Arc<CsrGraph>, String> {
+        let key = spec.canonical();
+        if let Some(g) = self.cache.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(g));
+        }
+        let built = Arc::new(spec.build()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::clone(
+            self.cache.lock().unwrap().entry(key).or_insert(built),
+        ))
+    }
+
+    /// (cache hits, builds) since creation — exposed for the batch
+    /// summary so operators can see the dedup working.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct graphs currently held.
+    pub fn len(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// True if no graph has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Digest of a parsed job list — pins a journal to its jobs file.
 pub fn jobs_digest(jobs: &[JobSpec]) -> u64 {
     let mut text = String::new();
@@ -261,6 +325,57 @@ mod tests {
         assert!(parse_jobs("").is_err());
         assert!(parse_jobs("just-a-name\n").is_err());
         assert!(parse_jobs("a b c\n").is_err());
+    }
+
+    #[test]
+    fn graph_store_dedups_identical_specs() {
+        let store = GraphStore::new();
+        let spec = GraphSpec::parse("gnm:100:300:7").unwrap();
+        let a = store.get(&spec).unwrap();
+        let b = store.get(&spec).unwrap();
+        // Same allocation, not merely an equal graph.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.stats(), (1, 1));
+        assert_eq!(store.len(), 1);
+
+        // A different spec is a fresh build.
+        let c = store
+            .get(&GraphSpec::parse("gnm:100:300:8").unwrap())
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(store.stats(), (1, 2));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn graph_store_does_not_cache_failures() {
+        let store = GraphStore::new();
+        let missing = GraphSpec::parse("file:/nonexistent/x.el").unwrap();
+        assert!(store.get(&missing).is_err());
+        assert!(store.get(&missing).is_err());
+        assert!(store.is_empty());
+        assert_eq!(store.stats(), (0, 0));
+    }
+
+    #[test]
+    fn graph_store_is_shared_across_threads() {
+        let store = Arc::new(GraphStore::new());
+        let spec = GraphSpec::parse("cliques:4:8").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let spec = spec.clone();
+                std::thread::spawn(move || store.get(&spec).unwrap())
+            })
+            .collect();
+        let graphs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // All threads converge on one cached entry; racing builds may
+        // happen but exactly one allocation is handed out afterwards.
+        assert_eq!(store.len(), 1);
+        let canonical = store.get(&spec).unwrap();
+        for g in &graphs {
+            assert_eq!(g.num_vertices(), canonical.num_vertices());
+        }
     }
 
     #[test]

@@ -1,17 +1,27 @@
 //! The simulated device: memory + caches + SM cycle accounting + the
 //! kernel-launch API.
+//!
+//! Two execution modes are supported (see [`ExecMode`]): the default
+//! serial mode runs every warp on the calling thread in a deterministic
+//! order and is the reference for all timing/profiling numbers; the
+//! host-parallel mode runs each simulated SM's warps on a real host
+//! thread for wall-clock throughput, trading per-run cycle determinism
+//! for speed while preserving the simulated machine's semantics (real
+//! atomics, per-SM L1s, a shared locked L2).
 
-use crate::cache::{Cache, CacheStats};
+use crate::cache::{Cache, CacheStats, ShardedL2};
 use crate::error::{SimError, WatchdogAbort};
 use crate::fault::{FaultPlan, FaultRng};
 use crate::mem::{DevicePtr, GlobalMemory};
 use crate::profile::DeviceProfile;
-use crate::warp::{BlockCtx, WarpCtx};
+use crate::warp::{BlockCtx, L2Ref, SmView, WarpCtx};
 use crate::{Lanes, LANES};
 
 std::thread_local! {
     /// True while a `try_launch_*` call is on this thread's stack — the
     /// quiet panic hook only swallows simulator aborts raised inside one.
+    /// Host-parallel SM workers set it for their own thread, so aborts
+    /// raised on a worker are silenced exactly like serial ones.
     static IN_TRY_LAUNCH: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
@@ -61,6 +71,60 @@ impl Drop for TryLaunchScope {
     }
 }
 
+/// How kernel launches execute on the host.
+///
+/// * `Serial` (the default) runs every warp on the calling thread in a
+///   fixed order. Cycles, cache stats, fault injection, and watchdog
+///   behaviour are bit-for-bit reproducible — all timing experiments use
+///   this mode.
+/// * `HostParallel(workers)` runs each simulated SM's warps on real host
+///   threads (`workers` of them; `0` = one per available core). Final
+///   memory contents for order-independent algorithms (ECL-CC's min-wins
+///   hooking) are byte-identical to serial mode; cycle counts and cache
+///   stats become interleaving-dependent and are only indicative. Use it
+///   for throughput: `components`, `verify`, batch jobs, and large
+///   harness sweeps, where every run is certified by `ecl-verify`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Deterministic single-threaded execution (reference timing mode).
+    #[default]
+    Serial,
+    /// Multi-threaded SM execution with the given worker count
+    /// (0 = available parallelism).
+    HostParallel(usize),
+}
+
+impl ExecMode {
+    /// Parses a CLI spec: `serial`, `parallel`, or `parallel:N`.
+    pub fn parse(spec: &str) -> Result<ExecMode, String> {
+        match spec.trim() {
+            "serial" => Ok(ExecMode::Serial),
+            "parallel" => Ok(ExecMode::HostParallel(0)),
+            other => match other.strip_prefix("parallel:") {
+                Some(n) => n
+                    .parse::<usize>()
+                    .map(ExecMode::HostParallel)
+                    .map_err(|e| format!("bad worker count '{n}': {e}")),
+                None => Err(format!(
+                    "unknown exec mode '{other}' (expected serial, parallel, or parallel:N)"
+                )),
+            },
+        }
+    }
+
+    /// The concrete worker count this mode runs with (1 for serial,
+    /// the machine's available parallelism for `HostParallel(0)`).
+    pub fn resolved_workers(&self) -> usize {
+        match self {
+            ExecMode::Serial => 1,
+            ExecMode::HostParallel(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ExecMode::HostParallel(n) => *n,
+        }
+    }
+}
+
 /// Counters gathered for one kernel launch.
 #[derive(Clone, Debug, Default)]
 pub struct KernelStats {
@@ -94,12 +158,20 @@ impl KernelStats {
     }
 }
 
+/// The L2 representation tracks the execution mode: serial keeps the
+/// monolithic cache (bit-exact stats by construction), parallel swaps in
+/// the lock-sharded variant.
+enum L2Store {
+    Excl(Cache),
+    Shared(ShardedL2),
+}
+
 /// The simulated GPU. See the crate docs for the model.
 pub struct Gpu {
     pub(crate) profile: DeviceProfile,
     pub(crate) mem: GlobalMemory,
     pub(crate) l1: Vec<Cache>,
-    pub(crate) l2: Cache,
+    l2: L2Store,
     pub(crate) sm_cycles: Vec<u64>,
     pub(crate) cur: LaunchCounters,
     kernels: Vec<KernelStats>,
@@ -108,6 +180,10 @@ pub struct Gpu {
     pub(crate) watchdog: Option<u64>,
     pub(crate) launch_start_sm: Vec<u64>,
     launch_index: u64,
+    exec: ExecMode,
+    /// Per-launch scratch for the warp/block execution order, reused
+    /// across launches to avoid a fresh allocation per kernel.
+    warp_order: Vec<usize>,
 }
 
 /// Counters accumulated while a launch is in flight.
@@ -118,6 +194,18 @@ pub(crate) struct LaunchCounters {
     pub dram: u64,
     pub atomics: u64,
     pub warps: u64,
+}
+
+/// One simulated SM's exclusive state, detached from the [`Gpu`] for the
+/// duration of a host-parallel launch so a worker thread can own it.
+struct SmSlot {
+    sm: usize,
+    l1: Cache,
+    cycles: u64,
+    start: u64,
+    counters: LaunchCounters,
+    rng: FaultRng,
+    items: Vec<usize>,
 }
 
 impl Gpu {
@@ -133,12 +221,12 @@ impl Gpu {
                 )
             })
             .collect();
-        let l2 = Cache::new(
+        let l2 = L2Store::Excl(Cache::new(
             profile.l2_bytes,
             profile.l2_ways,
             profile.line_bytes,
             profile.sector_bytes,
-        );
+        ));
         let sm_cycles = vec![0; profile.num_sms];
         let launch_start_sm = sm_cycles.clone();
         Gpu {
@@ -154,7 +242,43 @@ impl Gpu {
             watchdog: None,
             launch_start_sm,
             launch_index: 0,
+            exec: ExecMode::Serial,
+            warp_order: Vec::new(),
         }
+    }
+
+    /// Selects the execution mode for subsequent `*_sync` launches (the
+    /// `FnMut` launch APIs always run serially regardless). Switching
+    /// between serial and parallel rebuilds the L2 model cold — cache
+    /// *contents* only affect stats, never values, so this is safe at any
+    /// point between launches.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec = mode;
+        let want_shared = matches!(mode, ExecMode::HostParallel(_));
+        let is_shared = matches!(self.l2, L2Store::Shared(_));
+        if want_shared != is_shared {
+            self.l2 = if want_shared {
+                L2Store::Shared(ShardedL2::new(
+                    self.profile.l2_bytes,
+                    self.profile.l2_ways,
+                    self.profile.line_bytes,
+                    self.profile.sector_bytes,
+                    self.profile.l2_shards(),
+                ))
+            } else {
+                L2Store::Excl(Cache::new(
+                    self.profile.l2_bytes,
+                    self.profile.l2_ways,
+                    self.profile.line_bytes,
+                    self.profile.sector_bytes,
+                ))
+            };
+        }
+    }
+
+    /// The active execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
     }
 
     /// Installs a fault-injection plan applied to every subsequent launch
@@ -177,6 +301,8 @@ impl Gpu {
     /// discarded and device memory may hold a partial kernel's writes;
     /// callers are expected to re-run on a fresh device (what the
     /// fallback ladder in `ecl-cc` does) or re-upload their buffers.
+    /// In host-parallel mode each SM worker checks its own budget, so a
+    /// livelocked SM aborts the launch without cross-thread coordination.
     pub fn set_watchdog(&mut self, budget: Option<u64>) {
         self.watchdog = budget;
     }
@@ -184,21 +310,6 @@ impl Gpu {
     /// The armed watchdog budget, if any.
     pub fn watchdog(&self) -> Option<u64> {
         self.watchdog
-    }
-
-    /// Adds `cycles` to an SM's busy counter, aborting the launch when an
-    /// armed watchdog's budget is exhausted. Every cycle-charging site in
-    /// the warp context funnels through here, so a livelocked kernel trips
-    /// the watchdog no matter which operation it spins on.
-    #[inline]
-    pub(crate) fn charge(&mut self, sm: usize, cycles: u64) {
-        self.sm_cycles[sm] += cycles;
-        if let Some(budget) = self.watchdog {
-            let spent = self.sm_cycles[sm] - self.launch_start_sm[sm];
-            if spent > budget {
-                std::panic::panic_any(WatchdogAbort { budget, spent });
-            }
-        }
     }
 
     /// The device profile.
@@ -237,17 +348,40 @@ impl Gpu {
         needed.min(max_threads).max(tpb)
     }
 
+    /// The [`SmView`] for one SM in serial execution: disjoint borrows of
+    /// the device's per-SM and shared state.
+    fn sm_view(&mut self, sm: usize) -> SmView<'_> {
+        SmView {
+            mem: &self.mem,
+            l2: match &mut self.l2 {
+                L2Store::Excl(c) => L2Ref::Excl(c),
+                L2Store::Shared(s) => L2Ref::Shared(s),
+            },
+            l1: &mut self.l1[sm],
+            cycles: &mut self.sm_cycles[sm],
+            launch_start: self.launch_start_sm[sm],
+            watchdog: self.watchdog,
+            counters: &mut self.cur,
+            fault: self.fault,
+            rng: &mut self.fault_rng,
+            profile: &self.profile,
+            sm,
+        }
+    }
+
     /// Launches a thread-granularity kernel: `total_threads` threads, 32
     /// per warp, blocks assigned round-robin to SMs. The closure runs once
     /// per warp with the warp's context (lane `i`'s global thread ID is
     /// `ctx.thread_ids().get(i)`); lanes beyond `total_threads` are
-    /// inactive in [`WarpCtx::launch_mask`].
+    /// inactive in [`WarpCtx::launch_mask`]. Always executes serially on
+    /// the calling thread — use [`Self::try_launch_warps_sync`] for a
+    /// launch that honours [`ExecMode::HostParallel`].
     pub fn launch_warps<F>(&mut self, name: &str, total_threads: usize, mut body: F) -> KernelStats
     where
         F: FnMut(&mut WarpCtx),
     {
-        let start_sm = self.begin_launch();
-        let (l1_before, l2_before) = self.cache_snapshot();
+        self.begin_launch();
+        let l2_before = self.l2_stats();
         self.cur = LaunchCounters::default();
 
         let warps_per_block = self.profile.warps_per_block();
@@ -255,7 +389,9 @@ impl Gpu {
         // Block→SM placement is fixed at launch; only the *execution order*
         // of warps is perturbed under a scheduler-chaos fault plan (real
         // hardware guarantees nothing about it either).
-        let mut order: Vec<usize> = (0..num_warps).collect();
+        let mut order = std::mem::take(&mut self.warp_order);
+        order.clear();
+        order.extend(0..num_warps);
         if self.fault.shuffle_warps {
             self.fault_rng.shuffle(&mut order);
         }
@@ -264,11 +400,38 @@ impl Gpu {
             let sm = block % self.profile.num_sms;
             let base = (wid * LANES) as u32;
             let active = crate::Mask::first(total_threads.saturating_sub(wid * LANES).min(LANES));
-            let mut ctx = WarpCtx::new(self, sm, base, total_threads as u32, active);
+            let mut ctx = WarpCtx::new(self.sm_view(sm), base, total_threads as u32, active);
             body(&mut ctx);
             self.cur.warps += 1;
         }
-        self.finish_launch(name, start_sm, l1_before, l2_before)
+        self.warp_order = order;
+        self.finish_launch(name, l2_before)
+    }
+
+    /// Launches a block-granularity kernel: the closure runs once per
+    /// thread block and drives its warps through [`BlockCtx::for_each_warp`].
+    /// Always executes serially — see [`Self::try_launch_blocks_sync`].
+    pub fn launch_blocks<F>(&mut self, name: &str, num_blocks: usize, mut body: F) -> KernelStats
+    where
+        F: FnMut(&mut BlockCtx),
+    {
+        self.begin_launch();
+        let l2_before = self.l2_stats();
+        self.cur = LaunchCounters::default();
+
+        let mut order = std::mem::take(&mut self.warp_order);
+        order.clear();
+        order.extend(0..num_blocks);
+        if self.fault.shuffle_warps {
+            self.fault_rng.shuffle(&mut order);
+        }
+        for &b in &order {
+            let sm = b % self.profile.num_sms;
+            let mut ctx = BlockCtx::new(self.sm_view(sm), b, num_blocks);
+            body(&mut ctx);
+        }
+        self.warp_order = order;
+        self.finish_launch(name, l2_before)
     }
 
     /// Fallible form of [`Self::launch_warps`]: converts watchdog aborts
@@ -309,6 +472,202 @@ impl Gpu {
         result.map_err(|payload| Self::classify_abort(name, payload))
     }
 
+    /// Mode-aware thread-granularity launch: executes serially under
+    /// [`ExecMode::Serial`] (identical to [`Self::try_launch_warps`]) and
+    /// across host threads under [`ExecMode::HostParallel`]. The kernel
+    /// body must be `Fn + Sync` because warps on different SMs run
+    /// concurrently in parallel mode.
+    pub fn try_launch_warps_sync<F>(
+        &mut self,
+        name: &str,
+        total_threads: usize,
+        body: F,
+    ) -> Result<KernelStats, SimError>
+    where
+        F: Fn(&mut WarpCtx) + Sync,
+    {
+        match self.exec {
+            ExecMode::Serial => self.try_launch_warps(name, total_threads, |w| body(w)),
+            ExecMode::HostParallel(workers) => {
+                let warps_per_block = self.profile.warps_per_block();
+                let num_sms = self.profile.num_sms;
+                let num_warps = total_threads.div_ceil(LANES);
+                let mut items: Vec<Vec<usize>> = vec![Vec::new(); num_sms];
+                for wid in 0..num_warps {
+                    items[(wid / warps_per_block) % num_sms].push(wid);
+                }
+                let total = total_threads as u32;
+                self.launch_parallel(name, workers, items, move |view, wid| {
+                    let base = (wid * LANES) as u32;
+                    let active =
+                        crate::Mask::first(total_threads.saturating_sub(wid * LANES).min(LANES));
+                    let mut ctx = WarpCtx::new(view.reborrow(), base, total, active);
+                    body(&mut ctx);
+                    view.counters.warps += 1;
+                })
+            }
+        }
+    }
+
+    /// Mode-aware block-granularity launch (see
+    /// [`Self::try_launch_warps_sync`]).
+    pub fn try_launch_blocks_sync<F>(
+        &mut self,
+        name: &str,
+        num_blocks: usize,
+        body: F,
+    ) -> Result<KernelStats, SimError>
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        match self.exec {
+            ExecMode::Serial => self.try_launch_blocks(name, num_blocks, |b| body(b)),
+            ExecMode::HostParallel(workers) => {
+                let num_sms = self.profile.num_sms;
+                let mut items: Vec<Vec<usize>> = vec![Vec::new(); num_sms];
+                for b in 0..num_blocks {
+                    items[b % num_sms].push(b);
+                }
+                self.launch_parallel(name, workers, items, move |view, b| {
+                    let mut ctx = BlockCtx::new(view.reborrow(), b, num_blocks);
+                    body(&mut ctx);
+                })
+            }
+        }
+    }
+
+    /// The host-parallel launch engine. Detaches each SM's exclusive state
+    /// into an [`SmSlot`], distributes slots round-robin over worker
+    /// threads, runs every item (warp or block) of a slot on its worker,
+    /// and merges all slots back — even when a worker aborted, so the
+    /// device stays structurally valid for the caller's recovery path.
+    /// The first abort payload is classified into a [`SimError`] exactly
+    /// like a serial abort; other workers stop at the next item boundary.
+    fn launch_parallel<R>(
+        &mut self,
+        name: &str,
+        workers: usize,
+        items_per_sm: Vec<Vec<usize>>,
+        run_item: R,
+    ) -> Result<KernelStats, SimError>
+    where
+        R: Fn(&mut SmView<'_>, usize) + Sync,
+    {
+        self.begin_launch();
+        let l2_before = self.l2_stats();
+        self.cur = LaunchCounters::default();
+
+        let num_sms = self.profile.num_sms;
+        let nworkers = match workers {
+            0 => ExecMode::HostParallel(0).resolved_workers(),
+            n => n,
+        }
+        .min(num_sms)
+        .max(1);
+
+        let l1s = std::mem::take(&mut self.l1);
+        let mut buckets: Vec<Vec<SmSlot>> = (0..nworkers).map(|_| Vec::new()).collect();
+        for (sm, (l1, mut items)) in l1s.into_iter().zip(items_per_sm).enumerate() {
+            // Each SM draws from its own seeded stream so injection stays
+            // replayable per SM no matter how the OS schedules workers.
+            let mut rng = FaultRng::for_sm(self.fault.seed, self.launch_index, sm);
+            if self.fault.shuffle_warps {
+                rng.shuffle(&mut items);
+            }
+            buckets[sm % nworkers].push(SmSlot {
+                sm,
+                l1,
+                cycles: self.sm_cycles[sm],
+                start: self.launch_start_sm[sm],
+                counters: LaunchCounters::default(),
+                rng,
+                items,
+            });
+        }
+
+        let l2 = match &self.l2 {
+            L2Store::Shared(s) => s,
+            L2Store::Excl(_) => unreachable!("host-parallel launch requires the sharded L2"),
+        };
+        let mem = &self.mem;
+        let profile = &self.profile;
+        let fault = self.fault;
+        let watchdog = self.watchdog;
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        let run_item = &run_item;
+
+        type WorkerResult = (Vec<SmSlot>, Option<Box<dyn std::any::Any + Send>>);
+        let done: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let abort = &abort;
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|mut bucket| {
+                    scope.spawn(move || {
+                        let _guard = TryLaunchScope::enter();
+                        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            for slot in bucket.iter_mut() {
+                                for k in 0..slot.items.len() {
+                                    if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                                        return;
+                                    }
+                                    let item = slot.items[k];
+                                    let mut view = SmView {
+                                        mem,
+                                        l2: L2Ref::Shared(l2),
+                                        l1: &mut slot.l1,
+                                        cycles: &mut slot.cycles,
+                                        launch_start: slot.start,
+                                        watchdog,
+                                        counters: &mut slot.counters,
+                                        fault,
+                                        rng: &mut slot.rng,
+                                        profile,
+                                        sm: slot.sm,
+                                    };
+                                    run_item(&mut view, item);
+                                }
+                            }
+                        }))
+                        .err();
+                        if panic.is_some() {
+                            abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        (bucket, panic)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("SM worker died outside the launch guard"))
+                .collect()
+        });
+
+        let mut slots: Vec<SmSlot> = Vec::with_capacity(num_sms);
+        let mut first_panic = None;
+        for (bucket, panic) in done {
+            slots.extend(bucket);
+            if first_panic.is_none() {
+                first_panic = panic;
+            }
+        }
+        slots.sort_by_key(|s| s.sm);
+        let mut l1s = Vec::with_capacity(num_sms);
+        for slot in slots {
+            self.sm_cycles[slot.sm] = slot.cycles;
+            self.cur.instructions += slot.counters.instructions;
+            self.cur.l1_hits += slot.counters.l1_hits;
+            self.cur.dram += slot.counters.dram;
+            self.cur.atomics += slot.counters.atomics;
+            self.cur.warps += slot.counters.warps;
+            l1s.push(slot.l1);
+        }
+        self.l1 = l1s;
+        if let Some(payload) = first_panic {
+            return Err(Self::classify_abort(name, payload));
+        }
+        Ok(self.finish_launch(name, l2_before))
+    }
+
     /// Cheap device self-test for circuit-breaker half-open probes.
     ///
     /// Launches one tiny diagnostic kernel under the *currently
@@ -326,7 +685,8 @@ impl Gpu {
     /// computes incorrectly must not be trusted with real jobs.
     ///
     /// Each probe allocates a small scratch buffer (probes are expected
-    /// to be rare: one per breaker half-open transition).
+    /// to be rare: one per breaker half-open transition). Probes always
+    /// execute serially, so they work identically in either exec mode.
     pub fn health_probe(&mut self) -> Result<(), SimError> {
         const N: usize = 64;
         let cells = self.alloc(N);
@@ -400,65 +760,30 @@ impl Gpu {
     }
 
     /// Per-launch prologue: advances the fault-RNG stream and snapshots
-    /// SM counters for the watchdog. Returns the snapshot for
-    /// `finish_launch`.
-    fn begin_launch(&mut self) -> Vec<u64> {
+    /// SM counters for the watchdog (reusing the snapshot buffer — no
+    /// per-launch allocation).
+    fn begin_launch(&mut self) {
         self.launch_index += 1;
         self.fault_rng = FaultRng::new(self.fault.seed, self.launch_index);
         self.launch_start_sm.clone_from(&self.sm_cycles);
-        self.sm_cycles.clone()
     }
 
-    /// Launches a block-granularity kernel: the closure runs once per
-    /// thread block and drives its warps through [`BlockCtx::for_each_warp`].
-    pub fn launch_blocks<F>(&mut self, name: &str, num_blocks: usize, mut body: F) -> KernelStats
-    where
-        F: FnMut(&mut BlockCtx),
-    {
-        let start_sm = self.begin_launch();
-        let (l1_before, l2_before) = self.cache_snapshot();
-        self.cur = LaunchCounters::default();
-
-        let mut order: Vec<usize> = (0..num_blocks).collect();
-        if self.fault.shuffle_warps {
-            self.fault_rng.shuffle(&mut order);
+    fn l2_stats(&self) -> CacheStats {
+        match &self.l2 {
+            L2Store::Excl(c) => c.stats(),
+            L2Store::Shared(s) => s.stats(),
         }
-        for &b in &order {
-            let sm = b % self.profile.num_sms;
-            let mut ctx = BlockCtx::new(self, sm, b, num_blocks);
-            body(&mut ctx);
-        }
-        self.finish_launch(name, start_sm, l1_before, l2_before)
     }
 
-    fn cache_snapshot(&self) -> (CacheStats, CacheStats) {
-        let mut l1 = CacheStats::default();
-        for c in &self.l1 {
-            let s = c.stats();
-            l1.read_accesses += s.read_accesses;
-            l1.write_accesses += s.write_accesses;
-            l1.read_hits += s.read_hits;
-            l1.write_hits += s.write_hits;
-            l1.writebacks += s.writebacks;
-        }
-        (l1, self.l2.stats())
-    }
-
-    fn finish_launch(
-        &mut self,
-        name: &str,
-        start_sm: Vec<u64>,
-        _l1_before: CacheStats,
-        l2_before: CacheStats,
-    ) -> KernelStats {
+    fn finish_launch(&mut self, name: &str, l2_before: CacheStats) -> KernelStats {
         let max_delta = self
             .sm_cycles
             .iter()
-            .zip(&start_sm)
+            .zip(&self.launch_start_sm)
             .map(|(now, then)| now - then)
             .max()
             .unwrap_or(0);
-        let l2_now = self.l2.stats();
+        let l2_now = self.l2_stats();
         let stats = KernelStats {
             name: name.to_string(),
             cycles: max_delta + self.profile.launch_overhead_cycles,
@@ -518,7 +843,10 @@ impl Gpu {
         for c in &mut self.l1 {
             c.flush();
         }
-        self.l2.flush();
+        match &mut self.l2 {
+            L2Store::Excl(c) => c.flush(),
+            L2Store::Shared(s) => s.flush(),
+        }
         for c in &mut self.sm_cycles {
             *c = 0;
         }
@@ -715,5 +1043,159 @@ mod tests {
         );
         // Only the first pass misses: 4 sectors.
         assert!(k.l2_read_accesses <= 8, "l2 reads {}", k.l2_read_accesses);
+    }
+
+    #[test]
+    fn exec_mode_parses() {
+        assert_eq!(ExecMode::parse("serial").unwrap(), ExecMode::Serial);
+        assert_eq!(
+            ExecMode::parse("parallel").unwrap(),
+            ExecMode::HostParallel(0)
+        );
+        assert_eq!(
+            ExecMode::parse("parallel:4").unwrap(),
+            ExecMode::HostParallel(4)
+        );
+        assert!(ExecMode::parse("bogus").is_err());
+        assert!(ExecMode::parse("parallel:x").is_err());
+        assert_eq!(ExecMode::Serial.resolved_workers(), 1);
+        assert_eq!(ExecMode::HostParallel(3).resolved_workers(), 3);
+        assert!(ExecMode::HostParallel(0).resolved_workers() >= 1);
+    }
+
+    #[test]
+    fn parallel_copy_matches_serial_memory() {
+        let src: Vec<u32> = (0..4096).map(|i| i * 3 + 1).collect();
+        let run = |mode: ExecMode| {
+            let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+            gpu.set_exec_mode(mode);
+            let a = gpu.alloc_from(&src);
+            let b = gpu.alloc(src.len());
+            gpu.try_launch_warps_sync("copy", src.len(), |w| {
+                let tid = w.thread_ids();
+                let m = w.launch_mask();
+                let v = w.load(a, &tid, m);
+                w.store(b, &tid, &v, m);
+            })
+            .unwrap();
+            gpu.download(b)
+        };
+        for workers in [1, 2, 3, 8] {
+            assert_eq!(run(ExecMode::HostParallel(workers)), run(ExecMode::Serial));
+        }
+    }
+
+    #[test]
+    fn parallel_atomic_add_is_exact() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        gpu.set_exec_mode(ExecMode::HostParallel(2));
+        let ctr = gpu.alloc(1);
+        let k = gpu
+            .try_launch_warps_sync("count", 4096, |w| {
+                let m = w.launch_mask();
+                let _ = w.atomic_add(ctr, &Lanes::splat(0), &Lanes::splat(1), m);
+            })
+            .unwrap();
+        assert_eq!(gpu.download(ctr)[0], 4096, "real atomics never lose adds");
+        assert_eq!(k.atomics, 4096);
+        assert_eq!(k.warps, 128);
+    }
+
+    #[test]
+    fn parallel_blocks_run_every_block() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        gpu.set_exec_mode(ExecMode::HostParallel(2));
+        let seen = gpu.alloc(16);
+        gpu.try_launch_blocks_sync("mark", 16, |b| {
+            let idx = b.block_idx() as u32;
+            let v = b.load_uniform(seen, idx);
+            assert_eq!(v, 0);
+            // One warp writes the block's cell.
+            let mut done = false;
+            b.for_each_warp(|w| {
+                if !done {
+                    w.store(
+                        seen,
+                        &Lanes::splat(idx),
+                        &Lanes::splat(idx + 1),
+                        crate::Mask(1),
+                    );
+                    done = true;
+                }
+            });
+        })
+        .unwrap();
+        let got = gpu.download(seen);
+        let want: Vec<u32> = (1..=16).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_watchdog_aborts_structuredly() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        gpu.set_exec_mode(ExecMode::HostParallel(2));
+        gpu.set_watchdog(Some(500));
+        let err = gpu
+            .try_launch_warps_sync("spin", 256, |w| {
+                for _ in 0..10_000 {
+                    w.alu(1);
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::Watchdog { kernel, budget, .. } => {
+                assert_eq!(kernel, "spin");
+                assert_eq!(budget, 500);
+            }
+            other => panic!("expected watchdog, got {other:?}"),
+        }
+        // The device must remain usable after the abort.
+        gpu.set_watchdog(None);
+        gpu.health_probe().unwrap();
+    }
+
+    #[test]
+    fn parallel_oob_is_memory_fault() {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        gpu.set_exec_mode(ExecMode::HostParallel(3));
+        let buf = gpu.alloc(8);
+        let err = gpu
+            .try_launch_warps_sync("oob", 256, |w| {
+                let tid = w.thread_ids();
+                let _ = w.load(buf, &tid, w.launch_mask());
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::MemoryFault { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn sync_launch_in_serial_mode_is_bit_identical_to_fnmut() {
+        let run = |sync: bool| {
+            let mut gpu = Gpu::new(DeviceProfile::titan_x());
+            gpu.set_fault_plan(FaultPlan::everything(77));
+            let buf = gpu.alloc(1024);
+            let k = if sync {
+                gpu.try_launch_warps_sync("k", 1024, |w| {
+                    let tid = w.thread_ids();
+                    let m = w.launch_mask();
+                    let _ = w.atomic_min(buf, &tid, &tid, m);
+                })
+                .unwrap()
+            } else {
+                gpu.try_launch_warps("k", 1024, |w| {
+                    let tid = w.thread_ids();
+                    let m = w.launch_mask();
+                    let _ = w.atomic_min(buf, &tid, &tid, m);
+                })
+                .unwrap()
+            };
+            (
+                k.cycles,
+                k.instructions,
+                k.l2_read_accesses,
+                gpu.download(buf),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -204,6 +204,18 @@ impl FaultRng {
         }
     }
 
+    /// Per-SM stream for the host-parallel execution mode: each simulated
+    /// SM draws from its own generator so injection decisions stay seeded
+    /// and replayable per SM regardless of how the OS schedules workers.
+    /// (The serial mode keeps one launch-wide stream in warp order; the
+    /// two modes intentionally draw different sequences — fault *timing*
+    /// is interleaving-dependent either way, only the seed contract is
+    /// preserved.)
+    pub fn for_sm(seed: u64, launch: u64, sm: usize) -> FaultRng {
+        let sm_seed = seed.wrapping_add((sm as u64 + 1).wrapping_mul(0xd1b54a32d192ed03));
+        FaultRng::new(sm_seed, launch)
+    }
+
     /// Next uniform `u64`.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);

@@ -28,10 +28,20 @@
 //! paper's figures are all normalized ratios), not as wall-clock
 //! milliseconds.
 //!
-//! Warps execute to completion in a deterministic order (blocks
-//! round-robin over SMs, warps in block order), so simulations are exactly
-//! reproducible. This serializes the benign data races the paper discusses
-//! in §3; the CPU-parallel ECL-CC implementation exercises the real races.
+//! Two execution modes ([`ExecMode`]) share this model:
+//!
+//! * **Serial** (default): warps execute to completion in a deterministic
+//!   order (blocks round-robin over SMs, warps in block order), so
+//!   simulations are exactly reproducible — cycles, cache stats, fault
+//!   injection, and watchdog behaviour are bit-for-bit. This serializes
+//!   the benign data races the paper discusses in §3.
+//! * **Host-parallel**: each simulated SM's warps run on a real host
+//!   thread, with device memory backed by real atomics and the L2 behind
+//!   sharded locks. Final labels of order-independent algorithms (ECL-CC's
+//!   min-wins hooking) are byte-identical to serial mode — certified per
+//!   run by `ecl-verify` — while wall-clock time scales with cores. Cycle
+//!   counts become interleaving-dependent and are only indicative, so all
+//!   timing experiments stay serial.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +56,8 @@ pub mod warp;
 mod device;
 mod error;
 
-pub use device::{Gpu, KernelStats};
+pub use cache::ShardedL2;
+pub use device::{ExecMode, Gpu, KernelStats};
 pub use error::SimError;
 pub use fault::{FaultPlan, FaultRng};
 pub use lanes::{Lanes, Mask, LANES};

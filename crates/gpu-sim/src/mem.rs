@@ -1,5 +1,15 @@
 //! Simulated global memory: a flat word-addressed space with a bump
 //! allocator and typed buffer handles.
+//!
+//! Words are stored as [`AtomicU32`] so the host-parallel execution mode
+//! (see [`crate::ExecMode`]) can run kernel warps on real threads with
+//! `atomicCAS`/`atomicAdd` mapped to real atomic read-modify-writes. All
+//! orderings are `Relaxed`: CUDA global memory guarantees nothing stronger
+//! between independent threads, and on the serial path a relaxed atomic on
+//! one thread is exactly a plain load/store — serial behaviour is
+//! bit-identical to the pre-atomic model.
+
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Handle to a device buffer: a base *word* address and a length in words.
 ///
@@ -34,7 +44,7 @@ impl DevicePtr {
 /// Flat global memory backing all device buffers.
 #[derive(Debug, Default)]
 pub struct GlobalMemory {
-    words: Vec<u32>,
+    words: Vec<AtomicU32>,
 }
 
 impl GlobalMemory {
@@ -43,53 +53,93 @@ impl GlobalMemory {
         GlobalMemory { words: Vec::new() }
     }
 
+    #[inline]
+    fn cell(&self, ptr: DevicePtr, idx: usize, what: &str) -> &AtomicU32 {
+        assert!(
+            idx < ptr.len,
+            "device {what} OOB: idx {idx} >= len {}",
+            ptr.len
+        );
+        &self.words[ptr.base as usize + idx]
+    }
+
     /// Allocates a zero-initialized buffer of `len` words.
     pub fn alloc(&mut self, len: usize) -> DevicePtr {
         let base = self.words.len() as u64;
-        self.words.resize(self.words.len() + len, 0);
+        self.words.extend((0..len).map(|_| AtomicU32::new(0)));
         DevicePtr { base, len }
     }
 
     /// Allocates a buffer holding a copy of `data`.
     pub fn alloc_from(&mut self, data: &[u32]) -> DevicePtr {
-        let ptr = self.alloc(data.len());
-        self.words[ptr.base as usize..ptr.base as usize + data.len()].copy_from_slice(data);
-        ptr
+        let base = self.words.len() as u64;
+        self.words.extend(data.iter().map(|&w| AtomicU32::new(w)));
+        DevicePtr {
+            base,
+            len: data.len(),
+        }
     }
 
     /// Host-side read of a whole buffer (no cache traffic — models a
     /// `cudaMemcpy` outside the timed region, as the paper excludes
     /// transfer time).
     pub fn download(&self, ptr: DevicePtr) -> Vec<u32> {
-        self.words[ptr.base as usize..ptr.base as usize + ptr.len].to_vec()
+        self.words[ptr.base as usize..ptr.base as usize + ptr.len]
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Host-side write of a whole buffer.
     pub fn upload(&mut self, ptr: DevicePtr, data: &[u32]) {
         assert_eq!(data.len(), ptr.len, "upload size mismatch");
-        self.words[ptr.base as usize..ptr.base as usize + ptr.len].copy_from_slice(data);
+        for (cell, &v) in self.words[ptr.base as usize..ptr.base as usize + ptr.len]
+            .iter()
+            .zip(data)
+        {
+            cell.store(v, Ordering::Relaxed);
+        }
     }
 
     /// Raw word read with bounds check.
     #[inline]
     pub fn read(&self, ptr: DevicePtr, idx: usize) -> u32 {
-        assert!(
-            idx < ptr.len,
-            "device read OOB: idx {idx} >= len {}",
-            ptr.len
-        );
-        self.words[ptr.base as usize + idx]
+        self.cell(ptr, idx, "read").load(Ordering::Relaxed)
     }
 
-    /// Raw word write with bounds check.
+    /// Raw word write with bounds check. Takes `&self`: words are atomic,
+    /// so concurrent SM workers can write without aliasing UB (conflicting
+    /// writes race exactly as unsynchronized CUDA stores do — some write
+    /// wins, no tearing).
     #[inline]
-    pub fn write(&mut self, ptr: DevicePtr, idx: usize, v: u32) {
-        assert!(
-            idx < ptr.len,
-            "device write OOB: idx {idx} >= len {}",
-            ptr.len
-        );
-        self.words[ptr.base as usize + idx] = v;
+    pub fn write(&self, ptr: DevicePtr, idx: usize, v: u32) {
+        self.cell(ptr, idx, "write").store(v, Ordering::Relaxed)
+    }
+
+    /// Real `atomicCAS`: installs `new` iff the word equals `cmp`; returns
+    /// the pre-operation value either way.
+    #[inline]
+    pub fn cas(&self, ptr: DevicePtr, idx: usize, cmp: u32, new: u32) -> u32 {
+        match self.cell(ptr, idx, "cas").compare_exchange(
+            cmp,
+            new,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(old) | Err(old) => old,
+        }
+    }
+
+    /// Real `atomicAdd` (wrapping); returns the pre-add value.
+    #[inline]
+    pub fn fetch_add(&self, ptr: DevicePtr, idx: usize, v: u32) -> u32 {
+        self.cell(ptr, idx, "add").fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// Real `atomicMin`; returns the pre-min value.
+    #[inline]
+    pub fn fetch_min(&self, ptr: DevicePtr, idx: usize, v: u32) -> u32 {
+        self.cell(ptr, idx, "min").fetch_min(v, Ordering::Relaxed)
     }
 
     /// Total allocated words.
@@ -122,6 +172,20 @@ mod tests {
         let newdata: Vec<u32> = (100..200).collect();
         m.upload(p, &newdata);
         assert_eq!(m.download(p), newdata);
+    }
+
+    #[test]
+    fn rmw_primitives() {
+        let mut m = GlobalMemory::new();
+        let p = m.alloc_from(&[5, 10, 100]);
+        assert_eq!(m.cas(p, 0, 5, 9), 5, "winning CAS returns old");
+        assert_eq!(m.cas(p, 0, 5, 7), 9, "losing CAS returns current");
+        assert_eq!(m.read(p, 0), 9);
+        assert_eq!(m.fetch_add(p, 1, 3), 10);
+        assert_eq!(m.read(p, 1), 13);
+        assert_eq!(m.fetch_min(p, 2, 42), 100);
+        assert_eq!(m.fetch_min(p, 2, 77), 42, "min is sticky");
+        assert_eq!(m.read(p, 2), 42);
     }
 
     #[test]

@@ -5,17 +5,104 @@
 //! coalescer, charges cycles to the warp's SM, and updates the cache
 //! models. A [`BlockCtx`] groups the warps of one thread block for
 //! block-granularity kernels (the paper's third compute kernel).
+//!
+//! Both contexts are built on an [`SmView`]: the slice of device state one
+//! simulated SM may touch while executing a warp — its private L1 and
+//! cycle counter (exclusive), plus the shared memory/L2 (safe to share).
+//! In serial mode the view borrows straight out of the [`crate::Gpu`]; in
+//! host-parallel mode each worker thread holds views over its own SMs, so
+//! warps on different SMs run concurrently without ever aliasing
+//! another SM's exclusive state.
 
-use crate::cache::Lookup;
-use crate::device::Gpu;
+use crate::cache::{Cache, Lookup, ShardedL2};
+use crate::device::LaunchCounters;
+use crate::error::WatchdogAbort;
+use crate::fault::{FaultPlan, FaultRng};
 use crate::lanes::{Lanes, Mask};
-use crate::mem::DevicePtr;
+use crate::mem::{DevicePtr, GlobalMemory};
+use crate::profile::DeviceProfile;
 use crate::LANES;
+
+/// The L2 as seen from one SM: exclusively borrowed in serial mode (the
+/// monolithic cache, bit-exact stats), shared and internally locked in
+/// host-parallel mode.
+pub(crate) enum L2Ref<'a> {
+    Excl(&'a mut Cache),
+    Shared(&'a ShardedL2),
+}
+
+impl L2Ref<'_> {
+    #[inline]
+    fn access(&mut self, addr: u64, is_write: bool) -> Lookup {
+        match self {
+            L2Ref::Excl(c) => c.access(addr, is_write),
+            L2Ref::Shared(s) => s.access(addr, is_write),
+        }
+    }
+
+    fn reborrow(&mut self) -> L2Ref<'_> {
+        match self {
+            L2Ref::Excl(c) => L2Ref::Excl(c),
+            L2Ref::Shared(s) => L2Ref::Shared(s),
+        }
+    }
+}
+
+/// Everything one SM needs to execute a warp: shared device state by
+/// reference, exclusive per-SM state by mutable reference.
+pub(crate) struct SmView<'a> {
+    pub(crate) mem: &'a GlobalMemory,
+    pub(crate) l2: L2Ref<'a>,
+    pub(crate) l1: &'a mut Cache,
+    pub(crate) cycles: &'a mut u64,
+    pub(crate) launch_start: u64,
+    pub(crate) watchdog: Option<u64>,
+    pub(crate) counters: &'a mut LaunchCounters,
+    pub(crate) fault: FaultPlan,
+    pub(crate) rng: &'a mut FaultRng,
+    pub(crate) profile: &'a DeviceProfile,
+    pub(crate) sm: usize,
+}
+
+impl SmView<'_> {
+    /// A shorter-lived view over the same SM (for nesting contexts).
+    pub(crate) fn reborrow(&mut self) -> SmView<'_> {
+        SmView {
+            mem: self.mem,
+            l2: self.l2.reborrow(),
+            l1: &mut *self.l1,
+            cycles: &mut *self.cycles,
+            launch_start: self.launch_start,
+            watchdog: self.watchdog,
+            counters: &mut *self.counters,
+            fault: self.fault,
+            rng: &mut *self.rng,
+            profile: self.profile,
+            sm: self.sm,
+        }
+    }
+
+    /// Adds `cycles` to this SM's busy counter, aborting the launch when an
+    /// armed watchdog's budget is exhausted. Every cycle-charging site in
+    /// the warp context funnels through here, so a livelocked kernel trips
+    /// the watchdog no matter which operation it spins on — and in
+    /// host-parallel mode the budget is checked against this SM's own
+    /// counter, so the check needs no cross-thread state.
+    #[inline]
+    pub(crate) fn charge(&mut self, cycles: u64) {
+        *self.cycles += cycles;
+        if let Some(budget) = self.watchdog {
+            let spent = *self.cycles - self.launch_start;
+            if spent > budget {
+                std::panic::panic_any(WatchdogAbort { budget, spent });
+            }
+        }
+    }
+}
 
 /// Execution context of one warp.
 pub struct WarpCtx<'a> {
-    gpu: &'a mut Gpu,
-    sm: usize,
+    view: SmView<'a>,
     base_gid: u32,
     total_threads: u32,
     launch_mask: Mask,
@@ -23,15 +110,13 @@ pub struct WarpCtx<'a> {
 
 impl<'a> WarpCtx<'a> {
     pub(crate) fn new(
-        gpu: &'a mut Gpu,
-        sm: usize,
+        view: SmView<'a>,
         base_gid: u32,
         total_threads: u32,
         launch_mask: Mask,
     ) -> Self {
         WarpCtx {
-            gpu,
-            sm,
+            view,
             base_gid,
             total_threads,
             launch_mask,
@@ -60,14 +145,15 @@ impl<'a> WarpCtx<'a> {
     /// SM this warp is resident on.
     #[inline]
     pub fn sm(&self) -> usize {
-        self.sm
+        self.view.sm
     }
 
     /// Charges `n` warp ALU instructions.
     #[inline]
     pub fn alu(&mut self, n: u64) {
-        self.gpu.charge(self.sm, n * self.gpu.profile.alu_cycles);
-        self.gpu.cur.instructions += n;
+        let cost = n * self.view.profile.alu_cycles;
+        self.view.charge(cost);
+        self.view.counters.instructions += n;
     }
 
     /// Gathers `ptr[idx[lane]]` for every active lane. Inactive lanes
@@ -79,9 +165,9 @@ impl<'a> WarpCtx<'a> {
         }
         self.issue_transactions(ptr, idx, mask, false);
         for lane in mask.iter() {
-            out.set(lane, self.gpu.mem.read(ptr, idx.get(lane) as usize));
+            out.set(lane, self.view.mem.read(ptr, idx.get(lane) as usize));
         }
-        self.gpu.cur.instructions += 1;
+        self.view.counters.instructions += 1;
         out
     }
 
@@ -95,11 +181,11 @@ impl<'a> WarpCtx<'a> {
         }
         self.issue_transactions(ptr, idx, mask, true);
         for lane in mask.iter() {
-            self.gpu
+            self.view
                 .mem
                 .write(ptr, idx.get(lane) as usize, vals.get(lane));
         }
-        self.gpu.cur.instructions += 1;
+        self.view.counters.instructions += 1;
     }
 
     /// Warp-uniform load of a single element (one transaction, value
@@ -107,13 +193,14 @@ impl<'a> WarpCtx<'a> {
     pub fn load_uniform(&mut self, ptr: DevicePtr, idx: u32) -> u32 {
         let lanes = Lanes::splat(idx);
         self.issue_transactions(ptr, &lanes, Mask(1), false);
-        self.gpu.cur.instructions += 1;
-        self.gpu.mem.read(ptr, idx as usize)
+        self.view.counters.instructions += 1;
+        self.view.mem.read(ptr, idx as usize)
     }
 
     /// Per-lane `atomicCAS(&ptr[idx], cmp, new)`, serialized in lane order
-    /// (resolved at the L2, as on hardware). Returns the old value each
-    /// lane observed.
+    /// (resolved at the L2, as on hardware — and in host-parallel mode
+    /// backed by a real compare-exchange, so cross-SM races behave like
+    /// the machine's). Returns the old value each lane observed.
     pub fn atomic_cas(
         &mut self,
         ptr: DevicePtr,
@@ -123,22 +210,20 @@ impl<'a> WarpCtx<'a> {
         mask: Mask,
     ) -> Lanes {
         let mut out = Lanes::default();
-        let cas_fault = self.gpu.fault.cas_spurious_permille;
+        let cas_fault = self.view.fault.cas_spurious_permille;
         for lane in mask.iter() {
             let i = idx.get(lane) as usize;
-            let old = self.gpu.mem.read(ptr, i);
-            if old == cmp.get(lane) {
-                self.gpu.mem.write(ptr, i, new.get(lane));
+            let cmpv = cmp.get(lane);
+            let newv = new.get(lane);
+            let old = self.view.mem.cas(ptr, i, cmpv, newv);
+            if old == cmpv {
                 // Spurious-contention injection: the update lands, but the
                 // lane observes the post-write value — the exact state it
                 // would see had an identical-intent competitor won the race
                 // one atomic earlier. Memory and the returned "old" value
                 // stay mutually consistent, and the caller's retry path runs.
-                if cas_fault > 0
-                    && new.get(lane) != cmp.get(lane)
-                    && self.gpu.fault_rng.chance(cas_fault)
-                {
-                    out.set(lane, new.get(lane));
+                if cas_fault > 0 && newv != cmpv && self.view.rng.chance(cas_fault) {
+                    out.set(lane, newv);
                 } else {
                     out.set(lane, old);
                 }
@@ -147,7 +232,7 @@ impl<'a> WarpCtx<'a> {
             }
             self.charge_atomic(ptr, idx.get(lane));
         }
-        self.gpu.cur.instructions += 1;
+        self.view.counters.instructions += 1;
         out
     }
 
@@ -157,12 +242,10 @@ impl<'a> WarpCtx<'a> {
         let mut out = Lanes::default();
         for lane in mask.iter() {
             let i = idx.get(lane) as usize;
-            let old = self.gpu.mem.read(ptr, i);
-            out.set(lane, old);
-            self.gpu.mem.write(ptr, i, old.wrapping_add(val.get(lane)));
+            out.set(lane, self.view.mem.fetch_add(ptr, i, val.get(lane)));
             self.charge_atomic(ptr, idx.get(lane));
         }
-        self.gpu.cur.instructions += 1;
+        self.view.counters.instructions += 1;
         out
     }
 
@@ -171,14 +254,10 @@ impl<'a> WarpCtx<'a> {
         let mut out = Lanes::default();
         for lane in mask.iter() {
             let i = idx.get(lane) as usize;
-            let old = self.gpu.mem.read(ptr, i);
-            out.set(lane, old);
-            if val.get(lane) < old {
-                self.gpu.mem.write(ptr, i, val.get(lane));
-            }
+            out.set(lane, self.view.mem.fetch_min(ptr, i, val.get(lane)));
             self.charge_atomic(ptr, idx.get(lane));
         }
-        self.gpu.cur.instructions += 1;
+        self.view.counters.instructions += 1;
         out
     }
 
@@ -227,30 +306,30 @@ impl<'a> WarpCtx<'a> {
     /// touch the caches, charge cycles, or count as an instruction.
     #[inline]
     pub fn peek(&self, ptr: DevicePtr, idx: u32) -> u32 {
-        self.gpu.mem.read(ptr, idx as usize)
+        self.view.mem.read(ptr, idx as usize)
     }
 
     fn charge_atomic(&mut self, ptr: DevicePtr, idx: u32) {
         let addr = ptr.byte_addr(idx as usize);
         // Atomics bypass L1 and are resolved at L2 as one read-modify-write.
-        let l2r = self.gpu.l2.access(addr, false);
+        let l2r = self.view.l2.access(addr, false);
         if matches!(l2r, Lookup::Miss { .. }) {
-            self.gpu.cur.dram += 1;
+            self.view.counters.dram += 1;
         }
-        let _ = self.gpu.l2.access(addr, true);
-        let mut cost = self.gpu.profile.atomic_cycles;
+        let _ = self.view.l2.access(addr, true);
+        let mut cost = self.view.profile.atomic_cycles;
         cost += self.injected_delay();
-        self.gpu.charge(self.sm, cost);
-        self.gpu.cur.atomics += 1;
+        self.view.charge(cost);
+        self.view.counters.atomics += 1;
     }
 
     /// Extra cycles for this transaction under a memory-delay fault plan
     /// (0 when the plan injects no delays).
     #[inline]
     fn injected_delay(&mut self) -> u64 {
-        let p = self.gpu.fault.mem_delay_permille;
-        if p > 0 && self.gpu.fault_rng.chance(p) {
-            self.gpu.fault.mem_delay_cycles
+        let p = self.view.fault.mem_delay_permille;
+        if p > 0 && self.view.rng.chance(p) {
+            self.view.fault.mem_delay_cycles
         } else {
             0
         }
@@ -259,7 +338,7 @@ impl<'a> WarpCtx<'a> {
     /// Runs the coalescer for one warp memory instruction and charges the
     /// resulting transactions through the cache hierarchy.
     fn issue_transactions(&mut self, ptr: DevicePtr, idx: &Lanes, mask: Mask, is_write: bool) {
-        let sector = self.gpu.l2.sector_bytes();
+        let sector = self.view.profile.sector_bytes as u64;
         // Collect distinct sector addresses across active lanes. 32 lanes
         // touch at most 32 sectors; a fixed array avoids allocation.
         let mut sectors = [u64::MAX; LANES];
@@ -271,32 +350,31 @@ impl<'a> WarpCtx<'a> {
                 count += 1;
             }
         }
-        let prof_l1 = self.gpu.profile.l1_hit_cycles;
-        let prof_l2 = self.gpu.profile.l2_hit_cycles;
-        let prof_dram = self.gpu.profile.dram_cycles;
+        let prof_l1 = self.view.profile.l1_hit_cycles;
+        let prof_l2 = self.view.profile.l2_hit_cycles;
+        let prof_dram = self.view.profile.dram_cycles;
         for &addr in &sectors[..count] {
-            let l1 = &mut self.gpu.l1[self.sm];
-            match l1.access(addr, is_write) {
+            match self.view.l1.access(addr, is_write) {
                 Lookup::Hit => {
-                    self.gpu.cur.l1_hits += 1;
+                    self.view.counters.l1_hits += 1;
                     let cost = prof_l1 + self.injected_delay();
-                    self.gpu.charge(self.sm, cost);
+                    self.view.charge(cost);
                 }
                 Lookup::Miss { evicted_dirty } => {
                     // Fill from L2 (write-allocate: stores also fill).
-                    let l2r = self.gpu.l2.access(addr, false);
+                    let l2r = self.view.l2.access(addr, false);
                     let mut cost = match l2r {
                         Lookup::Hit => prof_l2,
                         Lookup::Miss { .. } => {
-                            self.gpu.cur.dram += 1;
+                            self.view.counters.dram += 1;
                             prof_dram
                         }
                     };
                     cost += self.injected_delay();
-                    self.gpu.charge(self.sm, cost);
+                    self.view.charge(cost);
                     // Dirty sectors evicted from L1 are L2 write accesses.
                     for _ in 0..evicted_dirty {
-                        let _ = self.gpu.l2.access(addr, true);
+                        let _ = self.view.l2.access(addr, true);
                     }
                 }
             }
@@ -306,17 +384,15 @@ impl<'a> WarpCtx<'a> {
 
 /// Execution context of one thread block (for block-granularity kernels).
 pub struct BlockCtx<'a> {
-    gpu: &'a mut Gpu,
-    sm: usize,
+    view: SmView<'a>,
     block_idx: usize,
     num_blocks: usize,
 }
 
 impl<'a> BlockCtx<'a> {
-    pub(crate) fn new(gpu: &'a mut Gpu, sm: usize, block_idx: usize, num_blocks: usize) -> Self {
+    pub(crate) fn new(view: SmView<'a>, block_idx: usize, num_blocks: usize) -> Self {
         BlockCtx {
-            gpu,
-            sm,
+            view,
             block_idx,
             num_blocks,
         }
@@ -334,7 +410,7 @@ impl<'a> BlockCtx<'a> {
 
     /// Threads per block on this device.
     pub fn threads_per_block(&self) -> usize {
-        self.gpu.profile().threads_per_block
+        self.view.profile.threads_per_block
     }
 
     /// Runs `body` once per warp of this block, in warp order. Warps run
@@ -345,13 +421,13 @@ impl<'a> BlockCtx<'a> {
     where
         F: FnMut(&mut WarpCtx),
     {
-        let warps = self.gpu.profile().warps_per_block();
-        let tpb = self.gpu.profile().threads_per_block as u32;
+        let warps = self.view.profile.warps_per_block();
+        let tpb = self.view.profile.threads_per_block as u32;
         for w in 0..warps {
             let base = self.block_idx as u32 * tpb + (w * LANES) as u32;
-            let mut ctx = WarpCtx::new(self.gpu, self.sm, base, tpb, Mask::ALL);
+            let mut ctx = WarpCtx::new(self.view.reborrow(), base, tpb, Mask::ALL);
             body(&mut ctx);
-            self.gpu.cur.warps += 1;
+            self.view.counters.warps += 1;
         }
     }
 
@@ -359,7 +435,7 @@ impl<'a> BlockCtx<'a> {
     /// block's worklist entry).
     pub fn load_uniform(&mut self, ptr: DevicePtr, idx: u32) -> u32 {
         // Base thread ID is irrelevant for a single-lane uniform load.
-        let mut ctx = WarpCtx::new(self.gpu, self.sm, 0, 1, Mask(1));
+        let mut ctx = WarpCtx::new(self.view.reborrow(), 0, 1, Mask(1));
         ctx.load_uniform(ptr, idx)
     }
 }
@@ -367,6 +443,7 @@ impl<'a> BlockCtx<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::Gpu;
     use crate::profile::DeviceProfile;
 
     #[test]

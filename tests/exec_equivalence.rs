@@ -1,0 +1,218 @@
+//! The determinism contract between the simulator's two execution modes.
+//!
+//! * **Serial mode is the timing record**: cycles, cache statistics, and
+//!   fault behaviour are bit-for-bit reproducible, and this file pins
+//!   them to golden values captured from the original single-threaded
+//!   implementation — any refactor of the simulator's internals must
+//!   keep these numbers exactly.
+//! * **Host-parallel mode is the throughput path**: thread interleaving
+//!   makes cycle counts indicative only, but ECL-CC's min-wins hooking
+//!   converges to the same canonical labeling under any schedule, so
+//!   final labels must be *byte-identical* to serial mode for every
+//!   worker count and fault plan — and certified by the independent
+//!   checker on top.
+
+use ecl_cc::EclConfig;
+use ecl_gpu_sim::{DeviceProfile, ExecMode, FaultPlan, Gpu};
+use ecl_graph::{generate, CsrGraph};
+
+/// One golden per-kernel row:
+/// (cycles, instructions, l1 hits, l2 reads, l2 writes, dram, atomics, warps).
+type KernelRow = (u64, u64, u64, u64, u64, u64, u64, u64);
+
+/// One golden serial run.
+struct Golden {
+    total_cycles: u64,
+    l2_reads: u64,
+    l2_writes: u64,
+    components: usize,
+    kernels: [KernelRow; 5],
+}
+
+fn check_golden(g: &CsrGraph, profile: DeviceProfile, fault: FaultPlan, want: &Golden) {
+    let mut gpu = Gpu::new(profile);
+    gpu.set_fault_plan(fault);
+    let (r, s) = ecl_cc::gpu::run(&mut gpu, g, &EclConfig::default());
+    assert_eq!(s.total_cycles(), want.total_cycles, "total_cycles");
+    assert_eq!(s.l2_reads(), want.l2_reads, "l2_reads");
+    assert_eq!(s.l2_writes(), want.l2_writes, "l2_writes");
+    assert_eq!(r.num_components(), want.components, "components");
+    assert_eq!(s.kernels.len(), want.kernels.len());
+    for (k, w) in s.kernels.iter().zip(&want.kernels) {
+        let got = (
+            k.cycles,
+            k.instructions,
+            k.l1_hit_transactions,
+            k.l2_read_accesses,
+            k.l2_write_accesses,
+            k.dram_transactions,
+            k.atomics,
+            k.warps,
+        );
+        assert_eq!(got, *w, "kernel {}", k.name);
+    }
+}
+
+#[test]
+fn serial_cycles_pinned_gnm_titan() {
+    check_golden(
+        &generate::gnm_random(2000, 6000, 42),
+        DeviceProfile::titan_x(),
+        FaultPlan::none(),
+        &Golden {
+            total_cycles: 58350,
+            l2_reads: 3260,
+            l2_writes: 343,
+            components: 5,
+            kernels: [
+                (24996, 1152, 1634, 1950, 0, 1933, 0, 64),
+                (20938, 5740, 18818, 1310, 343, 68, 343, 64),
+                (4000, 0, 0, 0, 0, 0, 0, 64),
+                (4000, 0, 0, 0, 0, 0, 0, 0),
+                (4416, 546, 717, 0, 0, 0, 0, 64),
+            ],
+        },
+    );
+}
+
+#[test]
+fn serial_cycles_pinned_star_tiny() {
+    check_golden(
+        &generate::star(1000),
+        DeviceProfile::test_tiny(),
+        FaultPlan::none(),
+        &Golden {
+            total_cycles: 56270,
+            l2_reads: 1370,
+            l2_writes: 268,
+            components: 1,
+            kernels: [
+                (28662, 3218, 1006, 588, 145, 505, 0, 16),
+                (14920, 354, 184, 476, 14, 375, 1, 16),
+                (100, 0, 0, 0, 0, 0, 0, 16),
+                (9512, 101, 2, 159, 0, 127, 0, 2),
+                (3076, 256, 198, 147, 109, 37, 0, 16),
+            ],
+        },
+    );
+}
+
+#[test]
+fn serial_cycles_pinned_rmat_k40() {
+    check_golden(
+        &generate::rmat(10, 8, generate::RmatParams::GALOIS, 7),
+        DeviceProfile::k40(),
+        FaultPlan::none(),
+        &Golden {
+            total_cycles: 102483,
+            l2_reads: 3391,
+            l2_writes: 353,
+            components: 6,
+            kernels: [
+                (31107, 491, 319, 1197, 0, 1188, 0, 32),
+                (31495, 3510, 10648, 785, 353, 236, 353, 32),
+                (31384, 4009, 5091, 1409, 0, 770, 0, 32),
+                (4000, 0, 0, 0, 0, 0, 0, 0),
+                (4497, 259, 354, 0, 0, 0, 0, 32),
+            ],
+        },
+    );
+}
+
+/// Fault injection exercises the RNG draw order, warp shuffling, and
+/// spurious-CAS paths — the parts of the refactor most likely to disturb
+/// serial reproducibility. The totals and the SM load-balance metric are
+/// pinned from the pre-refactor implementation.
+#[test]
+fn serial_fault_run_pinned() {
+    let g = generate::gnm_random(2000, 6000, 42);
+    let mut gpu = Gpu::new(DeviceProfile::titan_x());
+    gpu.set_fault_plan(FaultPlan::everything(0xfa11));
+    let (r, s) = ecl_cc::gpu::run(&mut gpu, &g, &EclConfig::default());
+    assert_eq!(s.total_cycles(), 158142);
+    assert_eq!(s.l2_reads(), 3293);
+    assert_eq!(s.l2_writes(), 376);
+    assert_eq!(r.num_components(), 5);
+    let cycles: Vec<u64> = s.kernels.iter().map(|k| k.cycles).collect();
+    assert_eq!(cycles, [44418, 98932, 4000, 4000, 6792]);
+    assert_eq!(s.kernels[1].atomics, 376);
+    assert!((gpu.sm_balance() - 0.262795).abs() < 1e-6);
+}
+
+/// The certified-equivalence contract: across worker counts and fault
+/// plans, host-parallel labels are byte-identical to serial labels, and
+/// both certify. (A property test in spirit: the worker counts cover
+/// degenerate (1), divisor, non-divisor, and oversubscribed (8 > SMs)
+/// schedules; the fault plans cover none, CAS-heavy, and everything.)
+#[test]
+fn parallel_labels_byte_identical_to_serial() {
+    let graphs: Vec<(&str, CsrGraph)> = vec![
+        ("gnm", generate::gnm_random(1500, 4000, 11)),
+        ("star", generate::star(900)),
+        ("cliques", generate::disjoint_cliques(5, 50)),
+        (
+            "rmat",
+            generate::rmat(9, 7, generate::RmatParams::GALOIS, 3),
+        ),
+    ];
+    let plans = [
+        ("none", FaultPlan::none()),
+        ("cas-storm", FaultPlan::cas_storm(0xc0de)),
+        ("everything", FaultPlan::everything(0xfa11)),
+    ];
+    for (gname, g) in &graphs {
+        for (pname, plan) in &plans {
+            let mut serial_gpu = Gpu::new(DeviceProfile::test_tiny());
+            serial_gpu.set_fault_plan(*plan);
+            let (serial, _) = ecl_cc::gpu::run(&mut serial_gpu, g, &EclConfig::default());
+            let cert = ecl_verify::certify(g, &serial.labels)
+                .unwrap_or_else(|e| panic!("{gname}/{pname}: serial labels: {e}"));
+
+            for workers in [1usize, 2, 3, 8] {
+                let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+                gpu.set_fault_plan(*plan);
+                gpu.set_exec_mode(ExecMode::HostParallel(workers));
+                let (par, _) = ecl_cc::gpu::run(&mut gpu, g, &EclConfig::default());
+                assert_eq!(
+                    par.labels, serial.labels,
+                    "{gname}/{pname}/workers={workers}: labels diverged"
+                );
+                let par_cert = ecl_verify::certify(g, &par.labels)
+                    .unwrap_or_else(|e| panic!("{gname}/{pname}/{workers}: {e}"));
+                assert_eq!(par_cert.num_components, cert.num_components);
+            }
+        }
+    }
+}
+
+/// Serial stats after a host-parallel run must not depend on how the
+/// parallel run's threads happened to interleave: per-SM L1 content is a
+/// function of that SM's own (deterministic) work list, and switching
+/// modes rebuilds the shared L2 cold. Two devices with identical
+/// histories must therefore agree exactly, run after run.
+#[test]
+fn mode_switch_does_not_perturb_serial_stats() {
+    let g = generate::gnm_random(800, 2400, 5);
+    let cfg = EclConfig::default();
+
+    let project = |s: &ecl_cc::gpu::GpuRunStats| -> Vec<(u64, u64, u64, u64)> {
+        s.kernels
+            .iter()
+            .map(|k| (k.cycles, k.instructions, k.l2_read_accesses, k.atomics))
+            .collect()
+    };
+
+    let history = || {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        gpu.set_exec_mode(ExecMode::HostParallel(3));
+        let _ = ecl_cc::gpu::run(&mut gpu, &g, &cfg);
+        gpu.set_exec_mode(ExecMode::Serial);
+        let (r, s) = ecl_cc::gpu::run(&mut gpu, &g, &cfg);
+        (r.labels, project(&s))
+    };
+
+    let (labels_a, stats_a) = history();
+    let (labels_b, stats_b) = history();
+    assert_eq!(labels_a, labels_b);
+    assert_eq!(stats_a, stats_b);
+}
