@@ -84,14 +84,33 @@ cmp -s "$BATCH_DIR/serial-fault.labels" "$BATCH_DIR/parallel-fault.labels" \
     || { echo "host-parallel labels differ from serial under faults"; exit 1; }
 echo "    serial and host-parallel labels byte-identical"
 
+echo "==> execution-mode equivalence suite"
+# The golden determinism contract: serial cycle counts and per-level
+# cache stats pinned bit-for-bit, host-parallel labels byte-identical to
+# serial across worker counts and fault plans. (Also covered by the full
+# `cargo test` above; run explicitly so a failure names the contract.)
+cargo test -q --offline --test exec_equivalence > /dev/null
+echo "    equivalence suite green"
+
 echo "==> simspeed self-timing"
-# Wall-clock of the simulator itself, serial vs host-parallel; the
-# experiment asserts byte-identical certified labels internally. The
-# recorded speedup is hardware-dependent (<= 1 on a single-core host).
-./target/release/harness simspeed --exec parallel --scale tiny \
+# Wall-clock of the simulator itself, serial vs a host-parallel worker
+# matrix; the experiment asserts byte-identical certified labels
+# internally, and each record carries speedup_vs_serial plus
+# sim_edges_per_sec.
+./target/release/harness simspeed --scale tiny \
     --json BENCH_simspeed.json > /dev/null
 grep -q '"experiment":"simspeed"' BENCH_simspeed.json \
     || { echo "BENCH_simspeed.json missing simspeed records"; exit 1; }
-echo "    simspeed records written to BENCH_simspeed.json"
+# Smoke gate: on the largest bundled quick graph, parallel:4 wall-clock
+# must not fall behind serial by more than a noise allowance (the engine
+# multiplexes workers onto the available cores, so even a single-core
+# host must stay near parity; 15% covers shared-host timer noise).
+SPEEDUP=$(grep '"graph":"soc-LiveJournal1","code":"sim-parallel:4"' \
+    BENCH_simspeed.json | grep -o '"speedup_vs_serial":[0-9.]*' | cut -d: -f2)
+[ -n "$SPEEDUP" ] \
+    || { echo "no parallel:4 record for soc-LiveJournal1"; exit 1; }
+awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 0.85) }' \
+    || { echo "parallel:4 fell behind serial beyond tolerance (speedup ${SPEEDUP}x < 0.85x)"; exit 1; }
+echo "    simspeed matrix written to BENCH_simspeed.json (parallel:4 speedup ${SPEEDUP}x on soc-LiveJournal1)"
 
 echo "CI OK"

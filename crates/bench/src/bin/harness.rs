@@ -7,7 +7,8 @@
 //! Experiments:
 //!   table2  fig7  fig8  table3  table4  fig9  fig10
 //!   table5  table6  table7  table8  table9  table10  fig17
-//!   simspeed    (simulator wall-clock: serial vs host-parallel)
+//!   simspeed    (simulator wall-clock: serial vs host-parallel matrix)
+//!   micro       (simulator hot-path microbenchmarks)
 //!   internals   (= fig7 fig8 table3 table4 fig9 fig10)
 //!   all         (everything)
 //! ```
@@ -88,7 +89,8 @@ fn main() {
                     "experiments: table1 table2 fig7 fig8 table3 table4 fig9 fig10 table5 table6"
                 );
                 println!(
-                    "             table7 table8 table9 table10 fig17 ordering simspeed internals all"
+                    "             table7 table8 table9 table10 fig17 ordering simspeed micro \
+                     internals all"
                 );
                 println!("--exec parallel[:N] runs GPU experiments host-parallel (0 = per core);");
                 println!("         timing tables should keep the default serial mode");
@@ -139,6 +141,7 @@ fn main() {
             "ordering" => vec!["ordering"],
             "batch" => vec!["batch"],
             "simspeed" => vec!["simspeed"],
+            "micro" => vec!["micro"],
             other => {
                 eprintln!("unknown experiment '{other}' (see --help)");
                 std::process::exit(2);
@@ -173,6 +176,7 @@ fn main() {
             "fig17" => exp::fig17(scale, t_big, exec),
             "ordering" => exp::ordering(scale, &titan),
             "batch" => records.extend(exp::batch_throughput(t_big)),
+            "micro" => records.extend(ecl_bench::microbench::hot_paths()),
             "simspeed" => records.extend(exp::simspeed(
                 scale,
                 match exec {

@@ -691,6 +691,7 @@ pub fn verify_sweep(
             time_ms,
             simulated,
             verified: Some(outcome),
+            ..Default::default()
         });
     };
 
@@ -779,20 +780,29 @@ pub fn verify_sweep(
 }
 
 /// `simspeed` experiment: wall-clock self-timing of the *simulator* —
-/// GPU ECL-CC executed serially vs host-parallel on the quick graph set.
-/// `workers = 0` means one per core. Every host-parallel labeling is
-/// compared byte-for-byte against the serial labeling and certified by
-/// the independent checker, so the reported speedup only covers runs
-/// proven equivalent. Times are host milliseconds (this measures the
-/// simulator, not the modeled GPU); on a single-core host expect a
-/// speedup ≤ 1 — the interesting column is still the equivalence.
+/// GPU ECL-CC executed serially and host-parallel at a matrix of worker
+/// counts ({1, 2, 4, 8}, plus the explicitly requested count when it is
+/// not already in the matrix; `workers = 0` just means "the matrix").
+/// Every host-parallel labeling is compared byte-for-byte against the
+/// serial labeling and certified by the independent checker, so the
+/// reported speedups only cover runs proven equivalent. Times are host
+/// milliseconds (this measures the simulator, not the modeled GPU), and
+/// each record also carries simulated-edges-per-wall-second — the
+/// throughput metric that makes runs comparable across graph sizes. On a
+/// single-core host expect speedups ≈ 1 at best: the parallel engine
+/// multiplexes workers onto the available cores, so the matrix measures
+/// its overhead there, and its scaling on multi-core hosts.
 pub fn simspeed(scale: Scale, workers: usize) -> Vec<BenchRecord> {
     let graphs = crate::quick_graphs(scale);
     let profile = DeviceProfile::titan_x();
-    let resolved = ExecMode::HostParallel(workers).resolved_workers();
+    let mut matrix: Vec<usize> = vec![1, 2, 4, 8];
+    if workers != 0 && !matrix.contains(&workers) {
+        matrix.push(workers);
+        matrix.sort_unstable();
+    }
     let mut records = Vec::new();
     let mut rows = Vec::new();
-    let mut speedups = Vec::new();
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); matrix.len()];
 
     for (gname, g) in &graphs {
         // Best-of-3 per mode: simulator wall-clock is noisy on a shared
@@ -807,51 +817,62 @@ pub fn simspeed(scale: Scale, workers: usize) -> Vec<BenchRecord> {
             runs.sort_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms));
             runs.remove(0)
         };
+        let edges_per_sec = |wall_ms: f64| g.num_edges() as f64 / (wall_ms.max(1e-9) / 1e3);
+
         let serial = best(ExecMode::Serial);
-        let par = best(ExecMode::HostParallel(workers));
-        assert_eq!(
-            par.labels, serial.labels,
-            "{gname}: host-parallel labels diverged from serial"
-        );
-        let speedup = serial.wall_ms / par.wall_ms.max(1e-9);
-        speedups.push(speedup);
-        rows.push(vec![
-            gname.to_string(),
-            format!("{:.2}", serial.wall_ms),
-            format!("{:.2}", par.wall_ms),
-            format!("{speedup:.2}x"),
-        ]);
-        for (code, run) in [
-            ("sim-serial".to_string(), &serial),
-            (format!("sim-parallel:{resolved}"), &par),
-        ] {
+        let mut row = vec![gname.to_string(), format!("{:.2}", serial.wall_ms)];
+        records.push(BenchRecord {
+            experiment: "simspeed".into(),
+            graph: gname.to_string(),
+            code: "sim-serial".into(),
+            time_ms: serial.wall_ms,
+            simulated: false,
+            verified: Some(VerifyOutcome {
+                pass: true,
+                components: serial.certificate.num_components,
+                detail: String::new(),
+            }),
+            speedup_vs_serial: None,
+            sim_edges_per_sec: Some(edges_per_sec(serial.wall_ms)),
+        });
+
+        for (wi, &w) in matrix.iter().enumerate() {
+            let par = best(ExecMode::HostParallel(w));
+            assert_eq!(
+                par.labels, serial.labels,
+                "{gname}: host-parallel:{w} labels diverged from serial"
+            );
+            let speedup = serial.wall_ms / par.wall_ms.max(1e-9);
+            speedups[wi].push(speedup);
+            row.push(format!("{:.2} ({speedup:.2}x)", par.wall_ms));
             records.push(BenchRecord {
                 experiment: "simspeed".into(),
                 graph: gname.to_string(),
-                code,
-                time_ms: run.wall_ms,
+                code: format!("sim-parallel:{w}"),
+                time_ms: par.wall_ms,
                 simulated: false,
                 verified: Some(VerifyOutcome {
                     pass: true,
-                    components: run.certificate.num_components,
+                    components: par.certificate.num_components,
                     detail: String::new(),
                 }),
+                speedup_vs_serial: Some(speedup),
+                sim_edges_per_sec: Some(edges_per_sec(par.wall_ms)),
             });
         }
+        rows.push(row);
     }
 
-    rows.push(vec![
-        "geomean".into(),
-        String::new(),
-        String::new(),
-        format!("{:.2}x", geomean(&speedups)),
-    ]);
+    let mut tail = vec!["geomean".into(), String::new()];
+    tail.extend(speedups.iter().map(|s| format!("{:.2}x", geomean(s))));
+    rows.push(tail);
+    let mut header: Vec<String> = vec!["Graph".into(), "serial ms".into()];
+    header.extend(matrix.iter().map(|w| format!("par:{w} ms")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     print_table(
-        &format!(
-            "simspeed — simulator wall-clock, serial vs host-parallel \
-             ({resolved} workers), labels certified identical"
-        ),
-        &["Graph", "serial ms", "parallel ms", "speedup"],
+        "simspeed — simulator wall-clock, serial vs host-parallel worker \
+         matrix, labels certified identical",
+        &header_refs,
         &rows,
     );
     records
@@ -909,6 +930,7 @@ pub fn batch_throughput(threads: usize) -> Vec<BenchRecord> {
             time_ms: report.total_ms,
             simulated: false,
             verified: None,
+            ..Default::default()
         });
     };
 

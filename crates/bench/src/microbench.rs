@@ -61,6 +61,122 @@ impl Group {
     }
 }
 
+/// Micro-benchmarks for the simulator's two hot paths — the cache lookup
+/// and the per-warp coalescing pass — under the access shapes that
+/// dominate real kernels: same-line repeats (the `last_slot` fast path),
+/// sector-streaming misses (fill + LRU eviction), and scattered lookups
+/// (set-scan without locality). The coalescing cases drive full warp
+/// loads through a simulated device, so they cover address split,
+/// sector dedup, and the batched cycle accounting together. Returns one
+/// [`BenchRecord`] per case so the harness can emit them via `--json`.
+pub fn hot_paths() -> Vec<crate::report::BenchRecord> {
+    use crate::report::BenchRecord;
+    use ecl_gpu_sim::{DeviceProfile, Gpu};
+
+    let mut records = Vec::new();
+    let mut push = |group: &str, id: &str, median_ms: f64| {
+        records.push(BenchRecord {
+            experiment: "microbench".into(),
+            graph: "synthetic".into(),
+            code: format!("{group}/{id}"),
+            time_ms: median_ms,
+            simulated: false,
+            verified: None,
+            ..Default::default()
+        });
+    };
+
+    // --- cache lookup, titan L1 geometry (48 kB, 8-way, 128 B lines) ---
+    let cache_geom = || ecl_gpu_sim::Cache::new(48 * 1024, 8, 128, 32);
+    const LOOKUPS: u64 = 200_000;
+    let g = Group::new("cache-lookup");
+
+    let mut c = cache_geom();
+    push(
+        "cache",
+        "repeat-hit",
+        g.bench("repeat-hit", || {
+            for _ in 0..LOOKUPS {
+                let _ = c.access(0x4000, false);
+            }
+        }),
+    );
+
+    let mut c = cache_geom();
+    let mut addr: u64 = 0;
+    push(
+        "cache",
+        "streaming-miss",
+        g.bench("streaming-miss", || {
+            for _ in 0..LOOKUPS {
+                // One new sector per access: every line fills cold and is
+                // eventually evicted — the slow path, wall to wall.
+                addr = addr.wrapping_add(32);
+                let _ = c.access(addr, false);
+            }
+        }),
+    );
+
+    let mut c = cache_geom();
+    let mut state: u64 = 0x9e3779b97f4a7c15;
+    push(
+        "cache",
+        "scatter",
+        g.bench("scatter", || {
+            for _ in 0..LOOKUPS {
+                // SplitMix-style stream: no spatial locality, so the
+                // same-line fast path never helps and every access pays
+                // the set scan.
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let _ = c.access((state >> 16) & 0xff_ffff, false);
+            }
+        }),
+    );
+
+    // --- warp coalescing through a full simulated device ---------------
+    let g = Group::new("coalesce");
+    let mut gpu = Gpu::new(DeviceProfile::titan_x());
+    const WORDS: u32 = 1 << 20;
+    let buf = gpu.alloc(WORDS as usize);
+    let threads = 24 * 8 * 32; // one warp per titan SM slot round
+    const ROUNDS: u32 = 16;
+
+    type IndexFn = fn(u32, u32) -> u32;
+    let cases: [(&str, IndexFn); 3] = [
+        // All 32 lanes in one sector: dedup collapses the warp to a
+        // single transaction (the best case the paper's §3 relies on).
+        ("broadcast", |_tid, r| r * 8),
+        // Adjacent words: 4 sectors per warp, the common coalesced shape.
+        ("unit-stride", |tid, r| tid.wrapping_add(r * 4096) % WORDS),
+        // One sector per lane: the dedup loop's worst case, 32 distinct
+        // sectors per warp instruction.
+        ("sector-scatter", |tid, r| {
+            tid.wrapping_mul(8).wrapping_add(r * 131) % WORDS
+        }),
+    ];
+    for (id, index_of) in cases {
+        push(
+            "coalesce",
+            id,
+            g.bench(id, || {
+                gpu.launch_warps("micro", threads, |w| {
+                    let ids = w.thread_ids();
+                    let m = w.launch_mask();
+                    for r in 0..ROUNDS {
+                        let idx = ids.map(|t| index_of(t, r));
+                        let _ = w.load(buf, &idx, m);
+                    }
+                });
+            }),
+        );
+        // Loads above are reads only; keep the device's kernel log from
+        // growing across cases.
+        gpu.reset_profiling();
+    }
+
+    records
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,7 @@ use ecl_graph::{CsrGraph, Vertex};
 use ecl_parallel::{parallel_for, Schedule};
 use ecl_unionfind::concurrent::JumpKind;
 use ecl_unionfind::AtomicParents;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
 
 /// Runs parallel ECL-CC with `threads` workers under `cfg`.
 pub fn run(g: &CsrGraph, threads: usize, cfg: &EclConfig) -> CcResult {
@@ -30,15 +30,18 @@ pub fn run_with_schedule(
     let n = g.num_vertices();
 
     // --- Phase 1: initialization -------------------------------------
-    let init_arr: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    // Allocate the atomic parent array once and write the initial labels
+    // straight into it from the workers — no scratch `Vec<AtomicU32>`, no
+    // unwrap-and-rewrap copy. The identity values `new` pre-fills are
+    // immediately overwritten, which is exactly the GPU init kernel's
+    // behaviour.
+    let parents = AtomicParents::new(n);
     {
-        let init_arr = &init_arr;
+        let parents = &parents;
         parallel_for(threads, n, schedule, move |v| {
-            init_arr[v].store(init_label(g, v as Vertex, cfg.init), Ordering::Relaxed);
+            parents.set_parent(v as Vertex, init_label(g, v as Vertex, cfg.init));
         });
     }
-    let parents =
-        AtomicParents::from_vec(init_arr.into_iter().map(AtomicU32::into_inner).collect());
 
     // --- Phase 2: computation -----------------------------------------
     {

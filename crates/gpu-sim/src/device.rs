@@ -5,16 +5,17 @@
 //! serial mode runs every warp on the calling thread in a deterministic
 //! order and is the reference for all timing/profiling numbers; the
 //! host-parallel mode runs each simulated SM's warps on a real host
-//! thread for wall-clock throughput, trading per-run cycle determinism
+//! thread for wall-clock throughput, trading shared-L2 modelling fidelity
 //! for speed while preserving the simulated machine's semantics (real
-//! atomics, per-SM L1s, a shared locked L2).
+//! atomics, per-SM L1s, and the modelled L2 capacity statically sliced
+//! per SM so workers never contend on a lock or a cache line).
 
-use crate::cache::{Cache, CacheStats, ShardedL2};
+use crate::cache::{Cache, CacheStats};
 use crate::error::{SimError, WatchdogAbort};
 use crate::fault::{FaultPlan, FaultRng};
 use crate::mem::{DevicePtr, GlobalMemory};
 use crate::profile::DeviceProfile;
-use crate::warp::{BlockCtx, L2Ref, SmView, WarpCtx};
+use crate::warp::{BlockCtx, SmView, WarpCtx};
 use crate::{Lanes, LANES};
 
 std::thread_local! {
@@ -80,10 +81,14 @@ impl Drop for TryLaunchScope {
 /// * `HostParallel(workers)` runs each simulated SM's warps on real host
 ///   threads (`workers` of them; `0` = one per available core). Final
 ///   memory contents for order-independent algorithms (ECL-CC's min-wins
-///   hooking) are byte-identical to serial mode; cycle counts and cache
-///   stats become interleaving-dependent and are only indicative. Use it
-///   for throughput: `components`, `verify`, batch jobs, and large
-///   harness sweeps, where every run is certified by `ecl-verify`.
+///   hooking) are byte-identical to serial mode. The modelled L2 is
+///   statically sliced per SM, so cycle counts and cache stats do not
+///   depend on the worker count or thread interleaving *unless* the
+///   kernel's memory traffic itself races across SMs (CAS retry loops do);
+///   they still differ from serial mode's shared-L2 numbers, so serial
+///   remains the timing record. Use host-parallel for throughput:
+///   `components`, `verify`, batch jobs, and large harness sweeps, where
+///   every run is certified by `ecl-verify`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecMode {
     /// Deterministic single-threaded execution (reference timing mode).
@@ -159,11 +164,15 @@ impl KernelStats {
 }
 
 /// The L2 representation tracks the execution mode: serial keeps the
-/// monolithic cache (bit-exact stats by construction), parallel swaps in
-/// the lock-sharded variant.
+/// monolithic cache (bit-exact stats by construction); host-parallel
+/// statically slices the modelled capacity into one private cache per SM,
+/// so SM workers touch disjoint state and need no locking. Per-SM slicing
+/// also makes parallel-mode stats deterministic for any kernel whose
+/// memory behaviour does not depend on cross-SM data races: each SM's
+/// slice sees exactly its own SM's (fixed) work list.
 enum L2Store {
     Excl(Cache),
-    Shared(ShardedL2),
+    PerSm(Vec<Cache>),
 }
 
 /// The simulated GPU. See the crate docs for the model.
@@ -184,6 +193,9 @@ pub struct Gpu {
     /// Per-launch scratch for the warp/block execution order, reused
     /// across launches to avoid a fresh allocation per kernel.
     warp_order: Vec<usize>,
+    /// Per-SM item-list scratch for host-parallel launches, reused across
+    /// launches so the inner `Vec` capacities survive.
+    parallel_items: Vec<Vec<usize>>,
 }
 
 /// Counters accumulated while a launch is in flight.
@@ -201,6 +213,7 @@ pub(crate) struct LaunchCounters {
 struct SmSlot {
     sm: usize,
     l1: Cache,
+    l2: Cache,
     cycles: u64,
     start: u64,
     counters: LaunchCounters,
@@ -244,7 +257,19 @@ impl Gpu {
             launch_index: 0,
             exec: ExecMode::Serial,
             warp_order: Vec::new(),
+            parallel_items: Vec::new(),
         }
+    }
+
+    /// Takes the per-SM item scratch, cleared and sized to `num_sms`, with
+    /// inner capacities preserved from earlier launches.
+    fn take_item_scratch(&mut self) -> Vec<Vec<usize>> {
+        let mut items = std::mem::take(&mut self.parallel_items);
+        items.resize_with(self.profile.num_sms, Vec::new);
+        for v in &mut items {
+            v.clear();
+        }
+        items
     }
 
     /// Selects the execution mode for subsequent `*_sync` launches (the
@@ -254,17 +279,32 @@ impl Gpu {
     /// point between launches.
     pub fn set_exec_mode(&mut self, mode: ExecMode) {
         self.exec = mode;
-        let want_shared = matches!(mode, ExecMode::HostParallel(_));
-        let is_shared = matches!(self.l2, L2Store::Shared(_));
-        if want_shared != is_shared {
-            self.l2 = if want_shared {
-                L2Store::Shared(ShardedL2::new(
-                    self.profile.l2_bytes,
-                    self.profile.l2_ways,
-                    self.profile.line_bytes,
-                    self.profile.sector_bytes,
-                    self.profile.l2_shards(),
-                ))
+        let want_sliced = matches!(mode, ExecMode::HostParallel(_));
+        let is_sliced = matches!(self.l2, L2Store::PerSm(_));
+        if want_sliced != is_sliced {
+            self.l2 = if want_sliced {
+                // Slice capacity is rounded down to a power-of-two set
+                // count so every slice keeps the shift-mask index path;
+                // parallel-mode stats are a distinct record from serial
+                // anyway, so the model trades a little modelled capacity
+                // for wall-clock speed on the hot path.
+                let way_bytes = self.profile.l2_ways * self.profile.line_bytes;
+                let raw_sets = ((self.profile.l2_bytes / self.profile.num_sms) / way_bytes).max(1);
+                // Largest power of two <= raw_sets.
+                let slice_sets = (raw_sets + 1).next_power_of_two() >> 1;
+                let per_sm = slice_sets.max(1) * way_bytes;
+                L2Store::PerSm(
+                    (0..self.profile.num_sms)
+                        .map(|_| {
+                            Cache::new(
+                                per_sm,
+                                self.profile.l2_ways,
+                                self.profile.line_bytes,
+                                self.profile.sector_bytes,
+                            )
+                        })
+                        .collect(),
+                )
             } else {
                 L2Store::Excl(Cache::new(
                     self.profile.l2_bytes,
@@ -354,8 +394,8 @@ impl Gpu {
         SmView {
             mem: &self.mem,
             l2: match &mut self.l2 {
-                L2Store::Excl(c) => L2Ref::Excl(c),
-                L2Store::Shared(s) => L2Ref::Shared(s),
+                L2Store::Excl(c) => c,
+                L2Store::PerSm(v) => &mut v[sm],
             },
             l1: &mut self.l1[sm],
             cycles: &mut self.sm_cycles[sm],
@@ -492,7 +532,7 @@ impl Gpu {
                 let warps_per_block = self.profile.warps_per_block();
                 let num_sms = self.profile.num_sms;
                 let num_warps = total_threads.div_ceil(LANES);
-                let mut items: Vec<Vec<usize>> = vec![Vec::new(); num_sms];
+                let mut items = self.take_item_scratch();
                 for wid in 0..num_warps {
                     items[(wid / warps_per_block) % num_sms].push(wid);
                 }
@@ -524,7 +564,7 @@ impl Gpu {
             ExecMode::Serial => self.try_launch_blocks(name, num_blocks, |b| body(b)),
             ExecMode::HostParallel(workers) => {
                 let num_sms = self.profile.num_sms;
-                let mut items: Vec<Vec<usize>> = vec![Vec::new(); num_sms];
+                let mut items = self.take_item_scratch();
                 for b in 0..num_blocks {
                     items[b % num_sms].push(b);
                 }
@@ -537,10 +577,15 @@ impl Gpu {
     }
 
     /// The host-parallel launch engine. Detaches each SM's exclusive state
-    /// into an [`SmSlot`], distributes slots round-robin over worker
-    /// threads, runs every item (warp or block) of a slot on its worker,
-    /// and merges all slots back — even when a worker aborted, so the
-    /// device stays structurally valid for the caller's recovery path.
+    /// — its L1, its private L2 slice, its cycle counter, its stat
+    /// counters, and its fault-RNG stream — into an [`SmSlot`],
+    /// distributes slots round-robin over worker threads, runs every item
+    /// (warp or block) of a slot on its worker, and merges all slots back
+    /// once at kernel end — even when a worker aborted, so the device
+    /// stays structurally valid for the caller's recovery path. Workers
+    /// share nothing mutable but global memory (real atomics) and the
+    /// abort flag; the first worker's bucket runs inline on the calling
+    /// thread, so one-worker launches spawn no threads at all.
     /// The first abort payload is classified into a [`SimError`] exactly
     /// like a serial abort; other workers stop at the next item boundary.
     fn launch_parallel<R>(
@@ -566,17 +611,22 @@ impl Gpu {
         .max(1);
 
         let l1s = std::mem::take(&mut self.l1);
-        let mut buckets: Vec<Vec<SmSlot>> = (0..nworkers).map(|_| Vec::new()).collect();
-        for (sm, (l1, mut items)) in l1s.into_iter().zip(items_per_sm).enumerate() {
+        let l2s = match &mut self.l2 {
+            L2Store::PerSm(v) => std::mem::take(v),
+            L2Store::Excl(_) => unreachable!("host-parallel launch requires the per-SM L2"),
+        };
+        let mut slots: Vec<SmSlot> = Vec::with_capacity(num_sms);
+        for (sm, ((l1, l2), mut items)) in l1s.into_iter().zip(l2s).zip(items_per_sm).enumerate() {
             // Each SM draws from its own seeded stream so injection stays
             // replayable per SM no matter how the OS schedules workers.
             let mut rng = FaultRng::for_sm(self.fault.seed, self.launch_index, sm);
             if self.fault.shuffle_warps {
                 rng.shuffle(&mut items);
             }
-            buckets[sm % nworkers].push(SmSlot {
+            slots.push(SmSlot {
                 sm,
                 l1,
+                l2,
                 cycles: self.sm_cycles[sm],
                 start: self.launch_start_sm[sm],
                 counters: LaunchCounters::default(),
@@ -585,73 +635,146 @@ impl Gpu {
             });
         }
 
-        let l2 = match &self.l2 {
-            L2Store::Shared(s) => s,
-            L2Store::Excl(_) => unreachable!("host-parallel launch requires the sharded L2"),
-        };
         let mem = &self.mem;
         let profile = &self.profile;
         let fault = self.fault;
         let watchdog = self.watchdog;
         let abort = std::sync::atomic::AtomicBool::new(false);
-        let run_item = &run_item;
 
-        type WorkerResult = (Vec<SmSlot>, Option<Box<dyn std::any::Any + Send>>);
-        let done: Vec<WorkerResult> = std::thread::scope(|scope| {
-            let abort = &abort;
-            let handles: Vec<_> = buckets
-                .into_iter()
-                .map(|mut bucket| {
-                    scope.spawn(move || {
-                        let _guard = TryLaunchScope::enter();
-                        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            for slot in bucket.iter_mut() {
-                                for k in 0..slot.items.len() {
-                                    if abort.load(std::sync::atomic::Ordering::Relaxed) {
-                                        return;
-                                    }
-                                    let item = slot.items[k];
-                                    let mut view = SmView {
-                                        mem,
-                                        l2: L2Ref::Shared(l2),
-                                        l1: &mut slot.l1,
-                                        cycles: &mut slot.cycles,
-                                        launch_start: slot.start,
-                                        watchdog,
-                                        counters: &mut slot.counters,
-                                        fault,
-                                        rng: &mut slot.rng,
-                                        profile,
-                                        sm: slot.sm,
-                                    };
-                                    run_item(&mut view, item);
-                                }
-                            }
-                        }))
-                        .err();
-                        if panic.is_some() {
-                            abort.store(true, std::sync::atomic::Ordering::Relaxed);
+        let run_slice = |slice: &mut [SmSlot]| -> Option<Box<dyn std::any::Any + Send>> {
+            let _guard = TryLaunchScope::enter();
+            let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for slot in slice.iter_mut() {
+                    // One view per slot, not per item — items only ever
+                    // reborrow it, so the construction cost is hoisted
+                    // out of the warp loop.
+                    let items = std::mem::take(&mut slot.items);
+                    let mut view = SmView {
+                        mem,
+                        l2: &mut slot.l2,
+                        l1: &mut slot.l1,
+                        cycles: &mut slot.cycles,
+                        launch_start: slot.start,
+                        watchdog,
+                        counters: &mut slot.counters,
+                        fault,
+                        rng: &mut slot.rng,
+                        profile,
+                        sm: slot.sm,
+                    };
+                    for &item in &items {
+                        if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
                         }
-                        (bucket, panic)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("SM worker died outside the launch guard"))
-                .collect()
-        });
-
-        let mut slots: Vec<SmSlot> = Vec::with_capacity(num_sms);
-        let mut first_panic = None;
-        for (bucket, panic) in done {
-            slots.extend(bucket);
-            if first_panic.is_none() {
-                first_panic = panic;
+                        run_item(&mut view, item);
+                    }
+                    slot.items = items;
+                }
+            }))
+            .err();
+            if panic.is_some() {
+                abort.store(true, std::sync::atomic::Ordering::Relaxed);
             }
-        }
-        slots.sort_by_key(|s| s.sm);
+            panic
+        };
+
+        // When everything runs on one OS thread anyway, step the slots in
+        // lockstep (item 0 of every SM, then item 1, ...) instead of
+        // SM-major order. Each slot still sees exactly its own item
+        // sequence — per-slot caches, RNG streams, and cycle counters are
+        // order-independent across slots — but global memory is walked in
+        // near-serial block order, which keeps the *host's* caches warm on
+        // large graphs instead of sweeping the whole graph once per SM.
+        let run_lockstep = |slots: &mut [SmSlot]| -> Option<Box<dyn std::any::Any + Send>> {
+            let _guard = TryLaunchScope::enter();
+            let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let items: Vec<Vec<usize>> = slots
+                    .iter_mut()
+                    .map(|s| std::mem::take(&mut s.items))
+                    .collect();
+                {
+                    let mut views: Vec<SmView<'_>> = slots
+                        .iter_mut()
+                        .map(|slot| SmView {
+                            mem,
+                            l2: &mut slot.l2,
+                            l1: &mut slot.l1,
+                            cycles: &mut slot.cycles,
+                            launch_start: slot.start,
+                            watchdog,
+                            counters: &mut slot.counters,
+                            fault,
+                            rng: &mut slot.rng,
+                            profile,
+                            sm: slot.sm,
+                        })
+                        .collect();
+                    let depth = items.iter().map(|v| v.len()).max().unwrap_or(0);
+                    'outer: for k in 0..depth {
+                        for (view, its) in views.iter_mut().zip(&items) {
+                            if let Some(&item) = its.get(k) {
+                                if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                                    break 'outer;
+                                }
+                                run_item(view, item);
+                            }
+                        }
+                    }
+                }
+                for (slot, its) in slots.iter_mut().zip(items) {
+                    slot.items = its;
+                }
+            }))
+            .err();
+            if panic.is_some() {
+                abort.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            panic
+        };
+
+        // Which slot runs on which OS thread is unobservable: slots are
+        // self-contained and interact only through real atomics on global
+        // memory. So never run more OS threads than min(workers, cores) —
+        // extra threads would only add spawn and context-switch cost.
+        // On a single-core host every slot runs inline on the calling
+        // thread and a parallel launch spawns no threads at all.
+        let os_threads = nworkers
+            .min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+            .max(1);
+        let first_panic = if os_threads == 1 {
+            run_lockstep(&mut slots)
+        } else {
+            let chunk = slots.len().div_ceil(os_threads);
+            std::thread::scope(|scope| {
+                let run_slice = &run_slice;
+                let mut chunks = slots.chunks_mut(chunk);
+                let first = chunks.next().expect("at least one slot chunk");
+                let handles: Vec<_> = chunks
+                    .map(|slice| scope.spawn(move || run_slice(slice)))
+                    .collect();
+                // The first chunk runs on the calling thread while the
+                // spawned workers chew through the rest.
+                let mut first_panic = run_slice(first);
+                for h in handles {
+                    let p = h.join().expect("SM worker died outside the launch guard");
+                    if first_panic.is_none() {
+                        first_panic = p;
+                    }
+                }
+                first_panic
+            })
+        };
+
+        // Slots were never reordered, so the merge is a straight in-order
+        // sweep that hands the caches and the item scratch back to `self`.
         let mut l1s = Vec::with_capacity(num_sms);
+        let mut l2s = Vec::with_capacity(num_sms);
+        let mut item_scratch = std::mem::take(&mut self.parallel_items);
+        item_scratch.clear();
         for slot in slots {
             self.sm_cycles[slot.sm] = slot.cycles;
             self.cur.instructions += slot.counters.instructions;
@@ -660,8 +783,12 @@ impl Gpu {
             self.cur.atomics += slot.counters.atomics;
             self.cur.warps += slot.counters.warps;
             l1s.push(slot.l1);
+            l2s.push(slot.l2);
+            item_scratch.push(slot.items);
         }
         self.l1 = l1s;
+        self.l2 = L2Store::PerSm(l2s);
+        self.parallel_items = item_scratch;
         if let Some(payload) = first_panic {
             return Err(Self::classify_abort(name, payload));
         }
@@ -768,11 +895,30 @@ impl Gpu {
         self.launch_start_sm.clone_from(&self.sm_cycles);
     }
 
-    fn l2_stats(&self) -> CacheStats {
+    /// Aggregate access statistics of the L2 level (summed over slices in
+    /// host-parallel mode) since construction or the last
+    /// [`Self::reset_profiling`].
+    pub fn l2_stats(&self) -> CacheStats {
         match &self.l2 {
             L2Store::Excl(c) => c.stats(),
-            L2Store::Shared(s) => s.stats(),
+            L2Store::PerSm(v) => {
+                let mut total = CacheStats::default();
+                for c in v {
+                    total.accumulate(&c.stats());
+                }
+                total
+            }
         }
+    }
+
+    /// Aggregate access statistics of all per-SM L1 caches since
+    /// construction or the last [`Self::reset_profiling`].
+    pub fn l1_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for c in &self.l1 {
+            total.accumulate(&c.stats());
+        }
+        total
     }
 
     fn finish_launch(&mut self, name: &str, l2_before: CacheStats) -> KernelStats {
@@ -845,7 +991,11 @@ impl Gpu {
         }
         match &mut self.l2 {
             L2Store::Excl(c) => c.flush(),
-            L2Store::Shared(s) => s.flush(),
+            L2Store::PerSm(v) => {
+                for c in v {
+                    c.flush();
+                }
+            }
         }
         for c in &mut self.sm_cycles {
             *c = 0;

@@ -62,12 +62,42 @@ impl Mask {
         }
     }
 
-    /// Iterator over the indices of active lanes.
+    /// Iterator over the indices of active lanes, in ascending order.
+    /// Implemented as a bit scan (`trailing_zeros` + clear-lowest-set-bit)
+    /// so sparse masks cost one step per active lane, not 32 — this is the
+    /// inner loop of every simulated memory operation.
     #[inline]
-    pub fn iter(self) -> impl Iterator<Item = usize> {
-        (0..LANES).filter(move |&i| self.lane(i))
+    pub fn iter(self) -> MaskIter {
+        MaskIter(self.0)
     }
 }
+
+/// Iterator over active lane indices (see [`Mask::iter`]).
+#[derive(Clone, Copy, Debug)]
+pub struct MaskIter(u32);
+
+impl Iterator for MaskIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let lane = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(lane)
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for MaskIter {}
 
 impl std::ops::BitAnd for Mask {
     type Output = Mask;

@@ -36,12 +36,14 @@
 //!   injection, and watchdog behaviour are bit-for-bit. This serializes
 //!   the benign data races the paper discusses in §3.
 //! * **Host-parallel**: each simulated SM's warps run on a real host
-//!   thread, with device memory backed by real atomics and the L2 behind
-//!   sharded locks. Final labels of order-independent algorithms (ECL-CC's
-//!   min-wins hooking) are byte-identical to serial mode — certified per
-//!   run by `ecl-verify` — while wall-clock time scales with cores. Cycle
-//!   counts become interleaving-dependent and are only indicative, so all
-//!   timing experiments stay serial.
+//!   thread, with device memory backed by real atomics and the modelled
+//!   L2 capacity statically sliced into one private cache per SM — no
+//!   locks anywhere on the memory path. Final labels of order-independent
+//!   algorithms (ECL-CC's min-wins hooking) are byte-identical to serial
+//!   mode — certified per run by `ecl-verify` — while wall-clock time
+//!   scales with cores. Cycle counts differ from the serial shared-L2
+//!   record (and become interleaving-dependent when kernels race across
+//!   SMs), so all timing experiments stay serial.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,7 +58,7 @@ pub mod warp;
 mod device;
 mod error;
 
-pub use cache::ShardedL2;
+pub use cache::{Cache, CacheStats};
 pub use device::{ExecMode, Gpu, KernelStats};
 pub use error::SimError;
 pub use fault::{FaultPlan, FaultRng};

@@ -118,13 +118,6 @@ impl DeviceProfile {
         self.threads_per_block / crate::LANES
     }
 
-    /// Number of independently locked L2 slices used by the host-parallel
-    /// execution mode: roughly one per SM (clamped) so concurrent SM
-    /// workers rarely contend on the same shard mutex.
-    pub fn l2_shards(&self) -> usize {
-        self.num_sms.next_power_of_two().clamp(8, 32)
-    }
-
     /// Converts simulated cycles to pseudo-milliseconds at the device
     /// clock. Only used for absolute-runtime tables; all figures are
     /// ratios.

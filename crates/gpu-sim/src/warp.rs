@@ -14,7 +14,7 @@
 //! warps on different SMs run concurrently without ever aliasing
 //! another SM's exclusive state.
 
-use crate::cache::{Cache, Lookup, ShardedL2};
+use crate::cache::{Cache, Lookup};
 use crate::device::LaunchCounters;
 use crate::error::WatchdogAbort;
 use crate::fault::{FaultPlan, FaultRng};
@@ -23,36 +23,14 @@ use crate::mem::{DevicePtr, GlobalMemory};
 use crate::profile::DeviceProfile;
 use crate::LANES;
 
-/// The L2 as seen from one SM: exclusively borrowed in serial mode (the
-/// monolithic cache, bit-exact stats), shared and internally locked in
-/// host-parallel mode.
-pub(crate) enum L2Ref<'a> {
-    Excl(&'a mut Cache),
-    Shared(&'a ShardedL2),
-}
-
-impl L2Ref<'_> {
-    #[inline]
-    fn access(&mut self, addr: u64, is_write: bool) -> Lookup {
-        match self {
-            L2Ref::Excl(c) => c.access(addr, is_write),
-            L2Ref::Shared(s) => s.access(addr, is_write),
-        }
-    }
-
-    fn reborrow(&mut self) -> L2Ref<'_> {
-        match self {
-            L2Ref::Excl(c) => L2Ref::Excl(c),
-            L2Ref::Shared(s) => L2Ref::Shared(s),
-        }
-    }
-}
-
 /// Everything one SM needs to execute a warp: shared device state by
-/// reference, exclusive per-SM state by mutable reference.
+/// reference, exclusive per-SM state by mutable reference. The L2 is
+/// exclusive too: serial mode lends out the monolithic cache, and in
+/// host-parallel mode each SM owns a private slice of the modelled L2
+/// capacity — no lock is ever taken on a memory access.
 pub(crate) struct SmView<'a> {
     pub(crate) mem: &'a GlobalMemory,
-    pub(crate) l2: L2Ref<'a>,
+    pub(crate) l2: &'a mut Cache,
     pub(crate) l1: &'a mut Cache,
     pub(crate) cycles: &'a mut u64,
     pub(crate) launch_start: u64,
@@ -69,7 +47,7 @@ impl SmView<'_> {
     pub(crate) fn reborrow(&mut self) -> SmView<'_> {
         SmView {
             mem: self.mem,
-            l2: self.l2.reborrow(),
+            l2: &mut *self.l2,
             l1: &mut *self.l1,
             cycles: &mut *self.cycles,
             launch_start: self.launch_start,
@@ -211,6 +189,7 @@ impl<'a> WarpCtx<'a> {
     ) -> Lanes {
         let mut out = Lanes::default();
         let cas_fault = self.view.fault.cas_spurious_permille;
+        let mut cost = 0;
         for lane in mask.iter() {
             let i = idx.get(lane) as usize;
             let cmpv = cmp.get(lane);
@@ -230,8 +209,9 @@ impl<'a> WarpCtx<'a> {
             } else {
                 out.set(lane, old);
             }
-            self.charge_atomic(ptr, idx.get(lane));
+            cost += self.atomic_transaction(ptr, idx.get(lane));
         }
+        self.view.charge(cost);
         self.view.counters.instructions += 1;
         out
     }
@@ -240,11 +220,13 @@ impl<'a> WarpCtx<'a> {
     /// Returns the pre-add value each lane observed.
     pub fn atomic_add(&mut self, ptr: DevicePtr, idx: &Lanes, val: &Lanes, mask: Mask) -> Lanes {
         let mut out = Lanes::default();
+        let mut cost = 0;
         for lane in mask.iter() {
             let i = idx.get(lane) as usize;
             out.set(lane, self.view.mem.fetch_add(ptr, i, val.get(lane)));
-            self.charge_atomic(ptr, idx.get(lane));
+            cost += self.atomic_transaction(ptr, idx.get(lane));
         }
+        self.view.charge(cost);
         self.view.counters.instructions += 1;
         out
     }
@@ -252,11 +234,13 @@ impl<'a> WarpCtx<'a> {
     /// Per-lane `atomicMin(&ptr[idx], val)`; returns pre-min values.
     pub fn atomic_min(&mut self, ptr: DevicePtr, idx: &Lanes, val: &Lanes, mask: Mask) -> Lanes {
         let mut out = Lanes::default();
+        let mut cost = 0;
         for lane in mask.iter() {
             let i = idx.get(lane) as usize;
             out.set(lane, self.view.mem.fetch_min(ptr, i, val.get(lane)));
-            self.charge_atomic(ptr, idx.get(lane));
+            cost += self.atomic_transaction(ptr, idx.get(lane));
         }
+        self.view.charge(cost);
         self.view.counters.instructions += 1;
         out
     }
@@ -309,7 +293,13 @@ impl<'a> WarpCtx<'a> {
         self.view.mem.read(ptr, idx as usize)
     }
 
-    fn charge_atomic(&mut self, ptr: DevicePtr, idx: u32) {
+    /// Models one lane's atomic at the memory system and returns its cycle
+    /// cost. Cycles are accumulated by the caller and charged once per
+    /// warp instruction (the sum — and therefore every observable cycle
+    /// count — is identical to per-transaction charging; only the
+    /// watchdog's trip point within an instruction can shift, and no
+    /// contract pins that).
+    fn atomic_transaction(&mut self, ptr: DevicePtr, idx: u32) -> u64 {
         let addr = ptr.byte_addr(idx as usize);
         // Atomics bypass L1 and are resolved at L2 as one read-modify-write.
         let l2r = self.view.l2.access(addr, false);
@@ -317,10 +307,8 @@ impl<'a> WarpCtx<'a> {
             self.view.counters.dram += 1;
         }
         let _ = self.view.l2.access(addr, true);
-        let mut cost = self.view.profile.atomic_cycles;
-        cost += self.injected_delay();
-        self.view.charge(cost);
         self.view.counters.atomics += 1;
+        self.view.profile.atomic_cycles + self.injected_delay()
     }
 
     /// Extra cycles for this transaction under a memory-delay fault plan
@@ -336,15 +324,38 @@ impl<'a> WarpCtx<'a> {
     }
 
     /// Runs the coalescer for one warp memory instruction and charges the
-    /// resulting transactions through the cache hierarchy.
+    /// resulting transactions through the cache hierarchy. Transactions
+    /// are issued in first-occurrence lane order — the cache models' LRU
+    /// state is order-sensitive, so the dedup must never reorder — and
+    /// cycles/counters are accumulated locally and charged once for the
+    /// whole instruction.
     fn issue_transactions(&mut self, ptr: DevicePtr, idx: &Lanes, mask: Mask, is_write: bool) {
         let sector = self.view.profile.sector_bytes as u64;
-        // Collect distinct sector addresses across active lanes. 32 lanes
-        // touch at most 32 sectors; a fixed array avoids allocation.
+        // Sector-align each lane's byte address. All real profiles use a
+        // power-of-two sector, turning the division into a mask.
+        let align_mask = if sector.is_power_of_two() {
+            !(sector - 1)
+        } else {
+            0
+        };
+        // Collect distinct sector addresses across active lanes in
+        // first-occurrence order. 32 lanes touch at most 32 sectors; a
+        // fixed scratch array avoids allocation, and the dominant
+        // coalesced pattern (runs of adjacent lanes in one sector) is
+        // caught by the compare against the last emitted sector before
+        // falling back to the linear scan.
         let mut sectors = [u64::MAX; LANES];
         let mut count = 0;
         for lane in mask.iter() {
-            let a = ptr.byte_addr(idx.get(lane) as usize) / sector * sector;
+            let b = ptr.byte_addr(idx.get(lane) as usize);
+            let a = if align_mask != 0 {
+                b & align_mask
+            } else {
+                b / sector * sector
+            };
+            if count > 0 && sectors[count - 1] == a {
+                continue;
+            }
             if !sectors[..count].contains(&a) {
                 sectors[count] = a;
                 count += 1;
@@ -353,25 +364,26 @@ impl<'a> WarpCtx<'a> {
         let prof_l1 = self.view.profile.l1_hit_cycles;
         let prof_l2 = self.view.profile.l2_hit_cycles;
         let prof_dram = self.view.profile.dram_cycles;
+        let mut cost = 0;
+        let mut l1_hits = 0;
+        let mut dram = 0;
         for &addr in &sectors[..count] {
             match self.view.l1.access(addr, is_write) {
                 Lookup::Hit => {
-                    self.view.counters.l1_hits += 1;
-                    let cost = prof_l1 + self.injected_delay();
-                    self.view.charge(cost);
+                    l1_hits += 1;
+                    cost += prof_l1 + self.injected_delay();
                 }
                 Lookup::Miss { evicted_dirty } => {
                     // Fill from L2 (write-allocate: stores also fill).
                     let l2r = self.view.l2.access(addr, false);
-                    let mut cost = match l2r {
+                    cost += match l2r {
                         Lookup::Hit => prof_l2,
                         Lookup::Miss { .. } => {
-                            self.view.counters.dram += 1;
+                            dram += 1;
                             prof_dram
                         }
                     };
                     cost += self.injected_delay();
-                    self.view.charge(cost);
                     // Dirty sectors evicted from L1 are L2 write accesses.
                     for _ in 0..evicted_dirty {
                         let _ = self.view.l2.access(addr, true);
@@ -379,6 +391,9 @@ impl<'a> WarpCtx<'a> {
                 }
             }
         }
+        self.view.counters.l1_hits += l1_hits;
+        self.view.counters.dram += dram;
+        self.view.charge(cost);
     }
 }
 

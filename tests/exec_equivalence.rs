@@ -185,6 +185,92 @@ fn parallel_labels_byte_identical_to_serial() {
     }
 }
 
+/// Per-level cache statistics are part of the serial timing record: the
+/// L1 and L2 `CacheStats` of the three golden configs are pinned to the
+/// values captured from the original implementation. These are the
+/// numbers the paper's Table 3 is regenerated from, so a cache refactor
+/// that preserves cycle totals but shifts hit/miss classification still
+/// fails here.
+#[test]
+fn serial_cache_stats_pinned_per_level() {
+    // (read_accesses, write_accesses, read_hits, write_hits, writebacks)
+    type Row = (u64, u64, u64, u64, u64);
+    let project = |s: ecl_gpu_sim::CacheStats| -> Row {
+        (
+            s.read_accesses,
+            s.write_accesses,
+            s.read_hits,
+            s.write_hits,
+            s.writebacks,
+        )
+    };
+    let cases: [(&str, CsrGraph, DeviceProfile, Row, Row); 3] = [
+        (
+            "gnm/titan",
+            generate::gnm_random(2000, 6000, 42),
+            DeviceProfile::titan_x(),
+            (22596, 1490, 19937, 1232, 0),
+            (3260, 343, 1259, 343, 0),
+        ),
+        (
+            "star/tiny",
+            generate::star(1000),
+            DeviceProfile::test_tiny(),
+            (2445, 314, 1234, 156, 267),
+            (1370, 268, 326, 268, 65),
+        ),
+        (
+            "rmat/k40",
+            generate::rmat(10, 8, generate::RmatParams::GALOIS, 7),
+            DeviceProfile::k40(),
+            (18633, 817, 15775, 637, 0),
+            (3391, 353, 1197, 353, 0),
+        ),
+    ];
+    for (name, g, profile, l1_want, l2_want) in cases {
+        let mut gpu = Gpu::new(profile);
+        let _ = ecl_cc::gpu::run(&mut gpu, &g, &EclConfig::default());
+        assert_eq!(project(gpu.l1_stats()), l1_want, "{name}: L1 stats");
+        assert_eq!(project(gpu.l2_stats()), l2_want, "{name}: L2 stats");
+    }
+}
+
+/// Host-parallel cache statistics must be a pure function of the kernel,
+/// not of the worker count or the thread schedule, for any kernel whose
+/// memory traffic does not race across SMs: each SM's private L1 and L2
+/// slice see exactly that SM's fixed work list. The kernel here reads a
+/// shared buffer and writes disjoint per-thread cells — data-independent
+/// by construction, so this pin holds on any host core count. L1 traffic
+/// is also mode-independent (per-SM work lists are identical in serial
+/// mode), so parallel L1 stats must equal serial L1 stats exactly.
+#[test]
+fn parallel_cache_stats_deterministic_across_workers() {
+    const N: usize = 4096;
+    let run_one = |mode: ExecMode| -> (ecl_gpu_sim::CacheStats, ecl_gpu_sim::CacheStats) {
+        let mut gpu = Gpu::new(DeviceProfile::test_tiny());
+        gpu.set_exec_mode(mode);
+        let src = gpu.alloc_from(&(0..N as u32).collect::<Vec<u32>>());
+        let dst = gpu.alloc(N);
+        gpu.try_launch_warps_sync("scale", N, |w| {
+            let ids = w.thread_ids();
+            let m = w.launch_mask();
+            let vals = w.load(src, &ids, m);
+            w.store(dst, &ids, &vals.map(|x| x.wrapping_mul(3)), m);
+        })
+        .expect("clean launch");
+        (gpu.l1_stats(), gpu.l2_stats())
+    };
+
+    let (serial_l1, _) = run_one(ExecMode::Serial);
+    let (ref_l1, ref_l2) = run_one(ExecMode::HostParallel(1));
+    assert_eq!(ref_l1, serial_l1, "parallel L1 stats diverged from serial");
+    for workers in [2usize, 3, 8] {
+        let (l1, l2) = run_one(ExecMode::HostParallel(workers));
+        assert_eq!(l1, ref_l1, "workers={workers}: L1 stats not deterministic");
+        assert_eq!(l2, ref_l2, "workers={workers}: L2 stats not deterministic");
+    }
+}
+
 /// Serial stats after a host-parallel run must not depend on how the
 /// parallel run's threads happened to interleave: per-SM L1 content is a
 /// function of that SM's own (deterministic) work list, and switching
