@@ -92,6 +92,23 @@ echo "==> execution-mode equivalence suite"
 cargo test -q --offline --test exec_equivalence > /dev/null
 echo "    equivalence suite green"
 
+echo "==> observability: profile artifacts + recorder-off equivalence"
+# The profile subcommand must emit a schema-valid Chrome trace and
+# metrics document (--validate re-parses both and fails on any schema
+# drift), and the recorder must be observation-only: the golden cycle
+# pins in exec_equivalence (asserted with recording on AND off, above)
+# plus the dedicated observability suite gate this.
+"$ECL" profile --graph rmat16.sym --scale tiny \
+    --trace "$BATCH_DIR/profile_trace.json" \
+    --metrics "$BATCH_DIR/profile_metrics.json" \
+    --validate > /dev/null
+grep -q '"schema":"ecl-trace-v1"' "$BATCH_DIR/profile_trace.json" \
+    || { echo "profile trace missing schema tag"; exit 1; }
+grep -q '"schema":"ecl-metrics-v1"' "$BATCH_DIR/profile_metrics.json" \
+    || { echo "profile metrics missing schema tag"; exit 1; }
+cargo test -q --offline --test observability > /dev/null
+echo "    profile artifacts schema-valid; recording is observation-only"
+
 echo "==> simspeed self-timing"
 # Wall-clock of the simulator itself, serial vs a host-parallel worker
 # matrix; the experiment asserts byte-identical certified labels

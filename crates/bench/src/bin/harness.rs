@@ -3,6 +3,7 @@
 //! ```text
 //! harness [EXPERIMENT ...] [--scale tiny|bench|large] [--threads N]
 //!         [--verify] [--json FILE] [--exec serial|parallel[:N]]
+//!         [--trace FILE]
 //!
 //! Experiments:
 //!   table2  fig7  fig8  table3  table4  fig9  fig10
@@ -34,6 +35,7 @@ fn main() {
     let mut selected: Vec<String> = Vec::new();
     let mut verify = false;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut exec = ExecMode::Serial;
 
     let mut it = args.iter();
@@ -80,11 +82,21 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--trace" => {
+                trace_path = it.next().cloned();
+                if trace_path.is_none() {
+                    eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: harness [EXPERIMENT ...] [--scale tiny|bench|large] [--threads N]"
                 );
-                println!("               [--verify] [--json FILE] [--exec serial|parallel[:N]]");
+                println!(
+                    "               [--verify] [--json FILE] [--exec serial|parallel[:N]] \
+                     [--trace FILE]"
+                );
                 println!(
                     "experiments: table1 table2 fig7 fig8 table3 table4 fig9 fig10 table5 table6"
                 );
@@ -97,6 +109,8 @@ fn main() {
                 println!("--verify certifies every code's labels with the independent checker");
                 println!("         (outside the timed region) and emits JSON records; --json");
                 println!("         chooses the output file (default bench-verify.json)");
+                println!("--trace FILE writes a Chrome trace (chrome://tracing) with one");
+                println!("         wall-clock span per experiment");
                 return;
             }
             other => selected.push(other.to_string()),
@@ -154,8 +168,10 @@ fn main() {
         "# ECL-CC reproduction harness — scale {scale:?}, host threads {host_threads}, \
          CPU configs: {t_big} / {t_small} threads"
     );
+    let recorder = trace_path.as_ref().map(|_| ecl_obs::Recorder::new());
     let mut records: Vec<ecl_bench::report::BenchRecord> = Vec::new();
     for item in todo {
+        let span_start = recorder.as_ref().map(|r| r.now_us());
         match item {
             "table1" => exp::table1(),
             "table2" => exp::table2(scale),
@@ -186,6 +202,32 @@ fn main() {
             )),
             _ => unreachable!(),
         }
+        if let (Some(r), Some(start)) = (&recorder, span_start) {
+            r.record(
+                ecl_obs::TraceEvent::span(
+                    &format!("experiment:{item}"),
+                    "experiment",
+                    ecl_obs::PID_ENGINE,
+                    0,
+                    start,
+                    r.now_us().saturating_sub(start),
+                )
+                .arg_str("scale", &format!("{scale:?}"))
+                .arg_str("exec", &exec.describe()),
+            );
+        }
+    }
+
+    if let (Some(path), Some(r)) = (&trace_path, &recorder) {
+        let md = [
+            ("tool".to_string(), "harness".to_string()),
+            ("exec".to_string(), exec.describe()),
+        ];
+        if let Err(e) = std::fs::write(path, r.chrome_trace_json(&md)) {
+            eprintln!("error writing trace {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote Chrome trace to {path}");
     }
 
     // `--verify` (or a bare `--json` with nothing else producing records)

@@ -691,6 +691,16 @@ pub fn verify_sweep(
             time_ms,
             simulated,
             verified: Some(outcome),
+            device: if simulated {
+                profile.name.to_string()
+            } else {
+                "host".into()
+            },
+            exec: if simulated {
+                exec.describe()
+            } else {
+                "host".into()
+            },
             ..Default::default()
         });
     };
@@ -834,6 +844,8 @@ pub fn simspeed(scale: Scale, workers: usize) -> Vec<BenchRecord> {
             }),
             speedup_vs_serial: None,
             sim_edges_per_sec: Some(edges_per_sec(serial.wall_ms)),
+            device: profile.name.to_string(),
+            exec: ExecMode::Serial.describe(),
         });
 
         for (wi, &w) in matrix.iter().enumerate() {
@@ -858,6 +870,8 @@ pub fn simspeed(scale: Scale, workers: usize) -> Vec<BenchRecord> {
                 }),
                 speedup_vs_serial: Some(speedup),
                 sim_edges_per_sec: Some(edges_per_sec(par.wall_ms)),
+                device: profile.name.to_string(),
+                exec: ExecMode::HostParallel(w).describe(),
             });
         }
         rows.push(row);
@@ -930,6 +944,8 @@ pub fn batch_throughput(threads: usize) -> Vec<BenchRecord> {
             time_ms: report.total_ms,
             simulated: false,
             verified: None,
+            device: cfg.ladder.profile.name.to_string(),
+            exec: cfg.ladder.exec.describe(),
             ..Default::default()
         });
     };

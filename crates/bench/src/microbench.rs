@@ -82,6 +82,8 @@ pub fn hot_paths() -> Vec<crate::report::BenchRecord> {
             time_ms: median_ms,
             simulated: false,
             verified: None,
+            device: "host".into(),
+            exec: "host".into(),
             ..Default::default()
         });
     };

@@ -41,32 +41,23 @@ pub struct BenchRecord {
     /// Simulated edges processed per host wall-clock second — the
     /// simulator-throughput metric (omitted from the JSON when `None`).
     pub sim_edges_per_sec: Option<f64>,
+    /// Device profile name for simulated runs (`"host"` for CPU codes).
+    pub device: String,
+    /// Execution mode the simulator ran under (`"serial"`,
+    /// `"parallel:N"`; `"host"` for CPU codes).
+    pub exec: String,
 }
 
-/// Escapes a string for inclusion in a JSON string literal.
+/// Escapes a string for inclusion in a JSON string literal. Delegates to
+/// the workspace's single JSON implementation in [`ecl_obs::json`].
 pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    ecl_obs::json::escape(s)
 }
 
 /// Formats an `f64` the way JSON expects (no NaN/inf — mapped to null).
+/// Delegates to the shared formatter in [`ecl_obs::json`].
 fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
+    ecl_obs::json::fmt_f64(v)
 }
 
 impl BenchRecord {
@@ -90,10 +81,13 @@ impl BenchRecord {
         }
         format!(
             "{{\"experiment\":\"{}\",\"graph\":\"{}\",\"code\":\"{}\",\
+             \"device\":\"{}\",\"exec\":\"{}\",\
              \"time_ms\":{},\"simulated\":{},\"verified\":{}{}}}",
             json_escape(&self.experiment),
             json_escape(&self.graph),
             json_escape(&self.code),
+            json_escape(&self.device),
+            json_escape(&self.exec),
             json_f64(self.time_ms),
             self.simulated,
             verified,
@@ -144,6 +138,8 @@ mod tests {
             }),
             speedup_vs_serial: None,
             sim_edges_per_sec: None,
+            device: "titan-x".into(),
+            exec: "serial".into(),
         }
     }
 
@@ -160,6 +156,8 @@ mod tests {
         assert!(j.contains("\"time_ms\":1.5"));
         assert!(j.contains("\"pass\":true"));
         assert!(j.contains("\"components\":7"));
+        assert!(j.contains("\"device\":\"titan-x\""));
+        assert!(j.contains("\"exec\":\"serial\""));
     }
 
     #[test]

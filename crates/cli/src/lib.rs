@@ -21,6 +21,8 @@ use ecl_gpu_sim::{DeviceProfile, ExecMode, FaultPlan, Gpu};
 use ecl_graph::{io, CsrGraph};
 use std::path::Path;
 
+pub mod profile;
+
 /// Graph file formats the CLI reads and writes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Format {
@@ -224,12 +226,27 @@ pub fn run_ladder_ex(
     fault: FaultPlan,
     exec: ExecMode,
 ) -> Result<ecl_cc::LadderOutcome, String> {
+    run_ladder_obs(g, threads, watchdog, fault, exec, None)
+}
+
+/// [`run_ladder_ex`] with an optional observability recorder: the
+/// ladder emits one wall-clock span per attempt and forwards the
+/// recorder to the simulated GPU for kernel spans.
+pub fn run_ladder_obs(
+    g: &CsrGraph,
+    threads: usize,
+    watchdog: Option<u64>,
+    fault: FaultPlan,
+    exec: ExecMode,
+    recorder: Option<ecl_obs::Recorder>,
+) -> Result<ecl_cc::LadderOutcome, String> {
     let cfg = ecl_cc::LadderConfig {
         threads,
         watchdog,
         fault,
         exec,
         profile: DeviceProfile::titan_x(),
+        recorder,
         ..ecl_cc::LadderConfig::default()
     };
     ecl_cc::ladder::run_with_fallback(g, &cfg).map_err(|e| e.to_string())
@@ -245,13 +262,31 @@ pub fn run_gpu_with_fault(
     watchdog: Option<u64>,
     exec: ExecMode,
 ) -> Result<CcResult, String> {
+    run_gpu_observed(g, fault, watchdog, exec, false, None).map(|(r, _)| r)
+}
+
+/// Runs ECL-CC on the simulated GPU and returns the run statistics
+/// alongside the labeling. `record_paths` enables the Table 4
+/// parent-path-length probes; `recorder` (when enabled) receives
+/// per-kernel spans and simulator metrics.
+pub fn run_gpu_observed(
+    g: &CsrGraph,
+    fault: FaultPlan,
+    watchdog: Option<u64>,
+    exec: ExecMode,
+    record_paths: bool,
+    recorder: Option<ecl_obs::Recorder>,
+) -> Result<(CcResult, ecl_cc::gpu::GpuRunStats), String> {
     let mut gpu = Gpu::new(DeviceProfile::titan_x());
     gpu.set_fault_plan(fault);
     gpu.set_watchdog(watchdog);
     gpu.set_exec_mode(exec);
-    ecl_cc::gpu::try_run(&mut gpu, g, &EclConfig::default())
-        .map(|(r, _)| r)
-        .map_err(|e| e.to_string())
+    gpu.set_recorder(recorder);
+    let cfg = EclConfig {
+        record_path_lengths: record_paths,
+        ..EclConfig::default()
+    };
+    ecl_cc::gpu::try_run(&mut gpu, g, &cfg).map_err(|e| e.to_string())
 }
 
 /// Parses a label file of `vertex label` lines (the format written by

@@ -2,9 +2,10 @@
 
 use ecl_cc_cli::{
     generate_catalog, parse_label_file, read_graph, run_algorithm, run_algorithm_ex,
-    run_gpu_with_fault, run_ladder_ex, write_graph, Format, ALGORITHMS,
+    run_gpu_observed, run_ladder_obs, write_graph, Format, ALGORITHMS,
 };
 use ecl_gpu_sim::{ExecMode, FaultPlan};
+use ecl_obs::{Recorder, TraceEvent, PID_ENGINE};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -14,6 +15,7 @@ usage: ecl-cc <command> [args]
 commands:
   components <file> [--algo NAME|auto] [--threads N] [--format F] [--labels OUT]
              [--watchdog CYCLES] [--fault-plan SPEC] [--sim-workers N]
+             [--trace FILE] [--stats]
       label connected components (default algo: parallel); `--algo auto`
       runs the fallback ladder (simulated GPU -> multicore CPU -> serial),
       certifying each stage's output and degrading on failure; --watchdog
@@ -23,12 +25,15 @@ commands:
       everything[:SEED], or custom `seed=N,cas=PERMILLE,mem=PERMILLE/CYC,shuffle`;
       --sim-workers N runs the simulated GPU host-parallel on N threads
       (0 = one per core) — labels stay certified-identical, cycle counts
-      become indicative only; omit it for deterministic serial timing
+      become indicative only; omit it for deterministic serial timing;
+      --trace FILE writes a Chrome trace (kernel + ladder spans);
+      --stats prints per-kernel cycles and parent-path-length stats
+      (gpu algo only)
   batch --jobs FILE [--workers N] [--queue N] [--deadline-ms MS] [--retries N]
         [--journal FILE] [--resume FILE] [--results DIR] [--report FILE]
         [--fault-plan SPEC] [--watchdog CYCLES] [--threads N] [--reject-full]
         [--breaker-threshold N] [--breaker-cooldown-ms MS] [--breaker-probes N]
-        [--kill-after N] [--sim-workers N]
+        [--kill-after N] [--sim-workers N] [--trace FILE]
       run a batch of CC jobs (one `<name> <graph-spec>` per line in FILE)
       through the certified fallback ladder on a worker pool, with
       retry/backoff, per-backend circuit breakers, and a crash-safe
@@ -36,7 +41,18 @@ commands:
       the machine-readable JSON report goes to --report or stdout;
       --kill-after N simulates SIGKILL after N completed jobs (testing);
       --sim-workers N makes GPU stages host-parallel (0 = auto: cores
-      are split between batch workers and per-device SM threads)
+      are split between batch workers and per-device SM threads);
+      --trace FILE writes a Chrome trace (job, ladder, kernel spans,
+      breaker transitions, queue depth)
+  profile [FILE] [--graph NAME]... [--device titan-x|k40] [--scale S]
+          [--sim-workers N] [--trace FILE] [--metrics FILE] [--report]
+          [--validate]
+      run ECL-CC on the simulated GPU with full instrumentation and
+      regenerate the paper's cache-locality table (Table 3), per-phase
+      cycle breakdown (and Table 4 path lengths) as a text report;
+      --trace/--metrics write Chrome-trace / flat-metrics JSON;
+      --validate re-parses both against their schemas (CI gate);
+      default input is a bundled quick set of paper graphs
   verify <file> [--labels FILE | --algo NAME] [--threads N] [--format F]
          [--sim-workers N]
       certify a labeling with the independent O(n+m) checker: edge
@@ -129,9 +145,18 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 None => FaultPlan::none(),
             };
             let g = read_graph(&path, fmt_flag(args, "--format")?)?;
+            let trace_out = flag(args, "--trace");
+            let want_stats = args.iter().any(|a| a == "--stats");
+            if want_stats && algo != "gpu" {
+                return Err(format!(
+                    "--stats reads per-kernel and path-length statistics from \
+                     the simulated GPU; it needs --algo gpu (got '{algo}')"
+                ));
+            }
+            let recorder = trace_out.as_ref().map(|_| Recorder::new());
             let t = Instant::now();
-            let (r, how) = if algo == "auto" {
-                let out = run_ladder_ex(&g, threads, watchdog, fault, sim_exec)?;
+            let (r, how, gpu_stats) = if algo == "auto" {
+                let out = run_ladder_obs(&g, threads, watchdog, fault, sim_exec, recorder.clone())?;
                 for a in &out.attempts {
                     if let Some(reason) = a.outcome.reason() {
                         eprintln!(
@@ -141,14 +166,35 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                         );
                     }
                 }
-                (out.result, format!("auto:{}", out.backend.name()))
-            } else if algo == "gpu" && (watchdog.is_some() || flag(args, "--fault-plan").is_some())
+                (out.result, format!("auto:{}", out.backend.name()), None)
+            } else if algo == "gpu"
+                && (watchdog.is_some()
+                    || flag(args, "--fault-plan").is_some()
+                    || want_stats
+                    || recorder.is_some())
             {
-                let r = run_gpu_with_fault(&g, fault, watchdog, sim_exec)?;
-                (r, "gpu(fault-injected)".to_string())
+                let (r, stats) =
+                    run_gpu_observed(&g, fault, watchdog, sim_exec, want_stats, recorder.clone())?;
+                let how = if flag(args, "--fault-plan").is_some() {
+                    "gpu(fault-injected)".to_string()
+                } else {
+                    "gpu".to_string()
+                };
+                (r, how, Some(stats))
             } else {
+                let span_start = recorder.as_ref().map(Recorder::now_us);
                 let r = run_algorithm_ex(&algo, &g, threads, sim_exec)?;
-                (r, algo.clone())
+                if let (Some(rec), Some(start)) = (&recorder, span_start) {
+                    rec.record(TraceEvent::span(
+                        &format!("components:{algo}"),
+                        "components",
+                        PID_ENGINE,
+                        0,
+                        start,
+                        rec.now_us().saturating_sub(start),
+                    ));
+                }
+                (r, algo.clone(), None)
             };
             let elapsed = t.elapsed();
             ecl_verify::certify(&g, &r.labels).map_err(|e| format!("verification failed: {e}"))?;
@@ -166,6 +212,32 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 sizes.first().copied().unwrap_or(0),
                 100.0 * sizes.first().copied().unwrap_or(0) as f64 / g.num_vertices().max(1) as f64
             );
+            if want_stats {
+                if let Some(stats) = &gpu_stats {
+                    println!("kernel cycles:");
+                    for k in &stats.kernels {
+                        println!("  {:<14} {:>12}", k.name, k.cycles);
+                    }
+                    println!("  {:<14} {:>12}", "total", stats.total_cycles());
+                    if let Some(p) = &stats.path_lengths {
+                        println!(
+                            "parent path lengths: {} samples, avg {:.2}, max {}",
+                            p.samples,
+                            p.average(),
+                            p.max
+                        );
+                    }
+                }
+            }
+            if let (Some(out), Some(rec)) = (&trace_out, &recorder) {
+                let md = [
+                    ("tool".to_string(), "ecl-cc components".to_string()),
+                    ("exec".to_string(), sim_exec.describe()),
+                ];
+                std::fs::write(out, rec.chrome_trace_json(&md))
+                    .map_err(|e| format!("{out}: {e}"))?;
+                eprintln!("trace written to {out}");
+            }
             if let Some(out) = flag(args, "--labels") {
                 let text: String = r
                     .labels
@@ -236,7 +308,22 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 cfg.results_dir = Some(PathBuf::from(d));
             }
 
+            let trace_out = flag(args, "--trace");
+            let recorder = trace_out.as_ref().map(|_| Recorder::new());
+            if let Some(rec) = &recorder {
+                cfg.ladder.recorder = Some(rec.clone());
+            }
+
             let report = ecl_engine::run_batch(&jobs, &cfg)?;
+            if let (Some(out), Some(rec)) = (&trace_out, &recorder) {
+                let md = [
+                    ("tool".to_string(), "ecl-cc batch".to_string()),
+                    ("exec".to_string(), sim_exec.describe()),
+                ];
+                std::fs::write(out, rec.chrome_trace_json(&md))
+                    .map_err(|e| format!("{out}: {e}"))?;
+                eprintln!("trace written to {out}");
+            }
             let json = report.to_json();
             match flag(args, "--report") {
                 Some(out) => {
@@ -264,6 +351,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "profile" => ecl_cc_cli::profile::run_profile(args),
         "verify" => {
             let path = positional(args, 0)?;
             let g = read_graph(&path, fmt_flag(args, "--format")?)?;

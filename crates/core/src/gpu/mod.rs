@@ -49,6 +49,15 @@ impl PathLengthStats {
         }
     }
 
+    /// Serializes the stats as a JSON object (samples, avg, max).
+    pub fn to_json(&self) -> String {
+        ecl_obs::json::Obj::new()
+            .u64("samples", self.samples)
+            .f64("avg", self.average())
+            .u64("max", self.max as u64)
+            .build()
+    }
+
     fn absorb(&mut self, lens: &Lanes, mask: Mask) {
         for lane in mask.iter() {
             let l = lens.get(lane);
@@ -93,6 +102,26 @@ impl GpuRunStats {
     /// Stats of the kernel with the given name, if present.
     pub fn kernel(&self, name: &str) -> Option<&KernelStats> {
         self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// Serializes the whole run — per-kernel stats (via
+    /// [`KernelStats::to_json`]), worklist sizes, totals, and path-length
+    /// stats when recorded — as one JSON object. This is the single
+    /// serialization path shared by `bench --json`, the engine reports,
+    /// and the `profile` subcommand.
+    pub fn to_json(&self) -> String {
+        let kernels: Vec<String> = self.kernels.iter().map(|k| k.to_json()).collect();
+        let mut o = ecl_obs::json::Obj::new()
+            .arr("kernels", &kernels)
+            .u64("worklist_mid", self.worklist_mid as u64)
+            .u64("worklist_big", self.worklist_big as u64)
+            .u64("total_cycles", self.total_cycles())
+            .u64("l2_reads", self.l2_reads())
+            .u64("l2_writes", self.l2_writes());
+        if let Some(p) = &self.path_lengths {
+            o = o.raw("path_lengths", &p.to_json());
+        }
+        o.build()
     }
 }
 

@@ -74,6 +74,11 @@ pub struct LadderConfig {
     /// determinism for wall-clock throughput — safe here because every
     /// ladder answer is certified before being accepted.
     pub exec: ExecMode,
+    /// Observability recorder. When present and enabled, the ladder
+    /// emits one wall-clock span per attempt (the attempt chain) and the
+    /// GPU stage forwards the recorder to the simulated device for
+    /// kernel spans. `None` (the default) records nothing.
+    pub recorder: Option<ecl_obs::Recorder>,
 }
 
 impl Default for LadderConfig {
@@ -87,6 +92,7 @@ impl Default for LadderConfig {
             fault: FaultPlan::none(),
             watchdog: None,
             exec: ExecMode::Serial,
+            recorder: None,
         }
     }
 }
@@ -154,10 +160,22 @@ pub fn run_with_fallback(g: &CsrGraph, cfg: &LadderConfig) -> Result<LadderOutco
 
     for &backend in &cfg.stages {
         for attempt in 1..=cfg.attempts_per_stage.max(1) {
+            let span_start = cfg
+                .recorder
+                .as_ref()
+                .filter(|r| r.is_enabled())
+                .map(|r| r.now_us());
             let produced = run_stage(g, cfg, backend, attempt);
             let error = match produced {
                 Ok(result) => match ecl_verify::certify(g, &result.labels) {
                     Ok(certificate) => {
+                        emit_attempt_span(
+                            cfg,
+                            backend,
+                            attempt,
+                            span_start,
+                            Ok(certificate.num_components),
+                        );
                         attempts.push(StageAttempt {
                             backend,
                             attempt,
@@ -176,6 +194,7 @@ pub fn run_with_fallback(g: &CsrGraph, cfg: &LadderConfig) -> Result<LadderOutco
                 },
                 Err(e) => e,
             };
+            emit_attempt_span(cfg, backend, attempt, span_start, Err(&error));
             attempts.push(StageAttempt {
                 backend,
                 attempt,
@@ -191,6 +210,45 @@ pub fn run_with_fallback(g: &CsrGraph, cfg: &LadderConfig) -> Result<LadderOutco
         attempts: attempts.len(),
         last: last_error.map(Box::new),
     })
+}
+
+/// Records one ladder attempt as a wall-clock span on the engine
+/// timeline, with the outcome (certified component count or failure
+/// reason) attached as span args. No-op when recording is off.
+fn emit_attempt_span(
+    cfg: &LadderConfig,
+    backend: Backend,
+    attempt: usize,
+    span_start: Option<u64>,
+    outcome: Result<usize, &EclError>,
+) {
+    let (Some(rec), Some(start)) = (cfg.recorder.as_ref(), span_start) else {
+        return;
+    };
+    let dur = rec.now_us().saturating_sub(start);
+    let mut ev = ecl_obs::TraceEvent::span(
+        &format!("ladder:{}", backend.name()),
+        "ladder",
+        ecl_obs::PID_ENGINE,
+        0,
+        start,
+        dur,
+    )
+    .arg_u64("attempt", attempt as u64);
+    ev = match outcome {
+        Ok(num_components) => ev
+            .arg_str("outcome", "certified")
+            .arg_u64("num_components", num_components as u64),
+        Err(error) => ev
+            .arg_str("outcome", "failed")
+            .arg_str("error", &error.to_string()),
+    };
+    rec.record(ev);
+    rec.add_metric("ladder.attempts", 1.0);
+    match outcome {
+        Ok(_) => rec.add_metric("ladder.certified", 1.0),
+        Err(_) => rec.add_metric("ladder.failed", 1.0),
+    }
 }
 
 /// Runs one backend attempt, containing panics at the stage boundary.
@@ -216,6 +274,7 @@ fn run_stage(
                 device.set_fault_plan(plan);
                 device.set_watchdog(cfg.watchdog);
                 device.set_exec_mode(cfg.exec);
+                device.set_recorder(cfg.recorder.clone());
                 gpu::try_run(&mut device, g, &cfg.cc).map(|(r, _)| r)
             }));
             match caught {

@@ -35,6 +35,7 @@ use crate::spec::{jobs_digest, GraphStore, JobSpec};
 use ecl_cc::ladder::{self, AttemptOutcome, Backend, LadderConfig};
 use ecl_cc::EclError;
 use ecl_gpu_sim::{ExecMode, Gpu};
+use ecl_obs::{Recorder, TraceEvent, PID_ENGINE};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -126,6 +127,56 @@ struct Shared<'a> {
 impl Shared<'_> {
     fn killed(&self) -> bool {
         self.killed.load(Ordering::SeqCst)
+    }
+
+    /// The batch's recorder (from the ladder config), when recording is
+    /// actually enabled.
+    fn recorder(&self) -> Option<&Recorder> {
+        self.cfg.ladder.recorder.as_ref().filter(|r| r.is_enabled())
+    }
+
+    /// Emits a queue-depth counter sample on the engine timeline.
+    fn gauge_queue_depth(&self) {
+        if let Some(rec) = self.recorder() {
+            rec.record(TraceEvent::counter(
+                "queue.depth",
+                "queue",
+                PID_ENGINE,
+                rec.now_us(),
+                self.queue.len() as f64,
+            ));
+        }
+    }
+}
+
+/// Feeds one outcome to `backend`'s breaker, emitting a state-transition
+/// instant event when the outcome flipped the breaker's state. The
+/// before/after snapshots are racy under concurrent workers — acceptable
+/// for an observability signal; the breaker itself stays authoritative.
+fn feed_breaker(shared: &Shared<'_>, backend: Backend, success: bool) {
+    let before = shared.breakers.snapshot(backend).0;
+    if success {
+        shared.breakers.record_success(backend);
+    } else {
+        shared.breakers.record_failure(backend);
+    }
+    let after = shared.breakers.snapshot(backend).0;
+    if before == after {
+        return;
+    }
+    if let Some(rec) = shared.recorder() {
+        rec.record(
+            TraceEvent::instant(
+                &format!("breaker:{}", backend.name()),
+                "breaker",
+                PID_ENGINE,
+                0,
+                rec.now_us(),
+            )
+            .arg_str("from", before.name())
+            .arg_str("to", after.name()),
+        );
+        rec.add_metric("engine.breaker_transitions", 1.0);
     }
 }
 
@@ -220,8 +271,9 @@ pub fn run_batch(jobs: &[JobSpec], cfg: &EngineConfig) -> Result<BatchReport, St
 
     let mut rejections = 0usize;
     std::thread::scope(|scope| {
-        for _ in 0..cfg.workers.max(1) {
-            scope.spawn(|| worker_loop(&shared));
+        let shared = &shared;
+        for worker in 0..cfg.workers.max(1) {
+            scope.spawn(move || worker_loop(shared, worker));
         }
         // Admission: feed pending jobs, then close the queue so workers
         // drain and exit.
@@ -256,6 +308,7 @@ pub fn run_batch(jobs: &[JobSpec], cfg: &EngineConfig) -> Result<BatchReport, St
             } else if shared.queue.push_blocking(job.clone()).is_err() {
                 break;
             }
+            shared.gauge_queue_depth();
         }
         shared.queue.close();
     });
@@ -306,13 +359,48 @@ fn budget_exec_mode(requested: ExecMode, workers: usize) -> ExecMode {
     }
 }
 
-fn worker_loop(shared: &Shared<'_>) {
+fn worker_loop(shared: &Shared<'_>, worker: usize) {
+    // Per-worker ring buffer: job spans accumulate locally and are
+    // merged into the shared recorder once per job, keeping the worker
+    // hot path free of recorder locks.
+    let rec = shared.recorder().cloned();
+    let mut buf = rec
+        .as_ref()
+        .map(Recorder::local)
+        .unwrap_or_else(|| Recorder::disabled().local());
     while let Some(job) = shared.queue.pop() {
+        shared.gauge_queue_depth();
         if shared.killed() {
             // SIGKILL semantics: in-flight and queued work evaporates.
             return;
         }
-        if let Some(report) = process_job(shared, &job) {
+        let span_start = rec.as_ref().map(|r| r.now_us());
+        let report = process_job(shared, &job);
+        if let (Some(r), Some(start)) = (&rec, span_start) {
+            let mut ev = TraceEvent::span(
+                &format!("job:{}", job.name),
+                "job",
+                PID_ENGINE,
+                worker as u32 + 1,
+                start,
+                r.now_us().saturating_sub(start),
+            )
+            .arg_u64("job_id", job.id)
+            .arg_u64("worker", worker as u64);
+            match &report {
+                Some(rep) => {
+                    ev = ev
+                        .arg_str("status", rep.status.name())
+                        .arg_u64("retries", rep.retries as u64)
+                        .arg_u64("ladder_attempts", rep.attempts.len() as u64);
+                }
+                None => ev = ev.arg_str("status", "killed"),
+            }
+            buf.push(ev);
+            r.add_metric("engine.jobs", 1.0);
+            r.merge(&mut buf);
+        }
+        if let Some(report) = report {
             shared.reports.lock().unwrap().push(report);
         }
     }
@@ -395,7 +483,7 @@ fn process_job(shared: &Shared<'_>, job: &JobSpec) -> Option<JobReport> {
                         match device.health_probe() {
                             Ok(()) => stages.push(backend),
                             Err(_) => {
-                                shared.breakers.record_failure(backend);
+                                feed_breaker(shared, backend, false);
                                 denied = Some(backend);
                             }
                         }
@@ -435,10 +523,11 @@ fn process_job(shared: &Shared<'_>, job: &JobSpec) -> Option<JobReport> {
             Err(_) => &[],
         };
         for a in trail {
-            match &a.outcome {
-                AttemptOutcome::Certified { .. } => shared.breakers.record_success(a.backend),
-                AttemptOutcome::Failed { .. } => shared.breakers.record_failure(a.backend),
-            }
+            feed_breaker(
+                shared,
+                a.backend,
+                matches!(a.outcome, AttemptOutcome::Certified { .. }),
+            );
             attempts.push(AttemptReport {
                 round,
                 backend: a.backend.name().to_string(),
@@ -480,7 +569,7 @@ fn process_job(shared: &Shared<'_>, job: &JobSpec) -> Option<JobReport> {
                     // run_with_fallback returns no attempts on error, so
                     // charge the breakers for the stages we offered.
                     for &b in &ladder_cfg.stages {
-                        shared.breakers.record_failure(b);
+                        feed_breaker(shared, b, false);
                     }
                     attempts.push(AttemptReport {
                         round,

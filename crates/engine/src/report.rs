@@ -8,21 +8,10 @@
 
 use ecl_cc::EclError;
 
-/// Escapes a string for inclusion in a JSON string literal.
+/// Escapes a string for inclusion in a JSON string literal. Delegates to
+/// the workspace's single JSON implementation in [`ecl_obs::json`].
 fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    ecl_obs::json::escape(s)
 }
 
 fn opt_num<T: std::fmt::Display>(v: &Option<T>) -> String {

@@ -64,6 +64,49 @@ impl CacheStats {
         self.write_hits += other.write_hits;
         self.writebacks += other.writebacks;
     }
+
+    /// Counters accrued since the `earlier` snapshot (per-launch deltas).
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            read_accesses: self.read_accesses - earlier.read_accesses,
+            write_accesses: self.write_accesses - earlier.write_accesses,
+            read_hits: self.read_hits - earlier.read_hits,
+            write_hits: self.write_hits - earlier.write_hits,
+            writebacks: self.writebacks - earlier.writebacks,
+        }
+    }
+
+    /// Read hit ratio in [0, 1] (1.0 when nothing was read — the paper's
+    /// Table 3 convention of reporting hit *ratios*, not miss counts).
+    pub fn read_hit_ratio(&self) -> f64 {
+        if self.read_accesses == 0 {
+            1.0
+        } else {
+            self.read_hits as f64 / self.read_accesses as f64
+        }
+    }
+
+    /// Write hit ratio in [0, 1] (1.0 when nothing was written).
+    pub fn write_hit_ratio(&self) -> f64 {
+        if self.write_accesses == 0 {
+            1.0
+        } else {
+            self.write_hits as f64 / self.write_accesses as f64
+        }
+    }
+
+    /// Serializes through the workspace's shared JSON writer — the one
+    /// serialization path for cache statistics everywhere (bench records,
+    /// metrics export, the profile report's machine-readable form).
+    pub fn to_json(&self) -> String {
+        ecl_obs::json::Obj::new()
+            .u64("read_accesses", self.read_accesses)
+            .u64("write_accesses", self.write_accesses)
+            .u64("read_hits", self.read_hits)
+            .u64("write_hits", self.write_hits)
+            .u64("writebacks", self.writebacks)
+            .build()
+    }
 }
 
 /// Tag value marking an unoccupied slot. Line addresses are byte addresses

@@ -128,6 +128,16 @@ impl ExecMode {
             ExecMode::HostParallel(n) => *n,
         }
     }
+
+    /// Stable spec string (the inverse of [`ExecMode::parse`]), stamped
+    /// into bench records and trace metadata.
+    pub fn describe(&self) -> String {
+        match self {
+            ExecMode::Serial => "serial".to_string(),
+            ExecMode::HostParallel(0) => "parallel".to_string(),
+            ExecMode::HostParallel(n) => format!("parallel:{n}"),
+        }
+    }
 }
 
 /// Counters gathered for one kernel launch.
@@ -154,12 +164,98 @@ pub struct KernelStats {
     pub atomics: u64,
     /// Number of warps executed.
     pub warps: u64,
+    /// Cycles spent in ALU instructions (including shuffles/reductions).
+    pub alu_cycles: u64,
+    /// Cycles spent on transactions served by the L1.
+    pub l1_cycles: u64,
+    /// Cycles spent on transactions served by the L2.
+    pub l2_cycles: u64,
+    /// Cycles spent on transactions served by DRAM.
+    pub dram_cycles: u64,
+    /// Cycles spent serialized on atomic operations.
+    pub atomic_cycles: u64,
+    /// Extra cycles injected by a memory-delay fault plan.
+    pub stall_cycles: u64,
+    /// Lane-level `atomicCAS` operations issued.
+    pub cas_attempts: u64,
+    /// CAS operations that observed a value other than their comparand —
+    /// the contention signal (includes injected spurious failures).
+    pub cas_failures: u64,
+    /// Warp memory/atomic instructions carrying an active-lane mask.
+    pub mask_ops: u64,
+    /// Sum of active lanes over those instructions (occupancy numerator).
+    pub active_lanes: u64,
+    /// Masked instructions where all 32 lanes were active (no divergence).
+    pub full_mask_ops: u64,
+    /// Cycles each SM added during this launch (index = SM id).
+    pub sm_cycle_deltas: Vec<u64>,
+    /// L1 counters accrued by this launch (summed over SMs).
+    pub l1_cache: CacheStats,
+    /// L2 counters accrued by this launch.
+    pub l2_cache: CacheStats,
 }
 
 impl KernelStats {
     /// Simulated time in pseudo-milliseconds on `profile`.
     pub fn ms(&self, profile: &DeviceProfile) -> f64 {
         profile.cycles_to_ms(self.cycles)
+    }
+
+    /// Mean active lanes per masked warp instruction, in [0, 32]
+    /// (32.0 when nothing was masked — fully converged).
+    pub fn warp_occupancy(&self) -> f64 {
+        if self.mask_ops == 0 {
+            crate::LANES as f64
+        } else {
+            self.active_lanes as f64 / self.mask_ops as f64
+        }
+    }
+
+    /// Fraction of masked instructions issued with a partial mask.
+    pub fn divergence_ratio(&self) -> f64 {
+        if self.mask_ops == 0 {
+            0.0
+        } else {
+            1.0 - self.full_mask_ops as f64 / self.mask_ops as f64
+        }
+    }
+
+    /// Fraction of CAS operations that observed contention.
+    pub fn cas_failure_ratio(&self) -> f64 {
+        if self.cas_attempts == 0 {
+            0.0
+        } else {
+            self.cas_failures as f64 / self.cas_attempts as f64
+        }
+    }
+
+    /// Serializes through the workspace's shared JSON writer — the one
+    /// serialization path for kernel statistics (bench `--json`, metrics
+    /// export, the profile artifacts).
+    pub fn to_json(&self) -> String {
+        ecl_obs::json::Obj::new()
+            .str("name", &self.name)
+            .u64("cycles", self.cycles)
+            .u64("instructions", self.instructions)
+            .u64("warps", self.warps)
+            .u64("l1_hit_transactions", self.l1_hit_transactions)
+            .u64("l2_read_accesses", self.l2_read_accesses)
+            .u64("l2_write_accesses", self.l2_write_accesses)
+            .u64("dram_transactions", self.dram_transactions)
+            .u64("atomics", self.atomics)
+            .u64("alu_cycles", self.alu_cycles)
+            .u64("l1_cycles", self.l1_cycles)
+            .u64("l2_cycles", self.l2_cycles)
+            .u64("dram_cycles", self.dram_cycles)
+            .u64("atomic_cycles", self.atomic_cycles)
+            .u64("stall_cycles", self.stall_cycles)
+            .u64("cas_attempts", self.cas_attempts)
+            .u64("cas_failures", self.cas_failures)
+            .f64("warp_occupancy", self.warp_occupancy())
+            .f64("divergence_ratio", self.divergence_ratio())
+            .raw("l1_cache", &self.l1_cache.to_json())
+            .raw("l2_cache", &self.l2_cache.to_json())
+            .build()
     }
 }
 
@@ -196,9 +292,17 @@ pub struct Gpu {
     /// Per-SM item-list scratch for host-parallel launches, reused across
     /// launches so the inner `Vec` capacities survive.
     parallel_items: Vec<Vec<usize>>,
+    /// Optional observability recorder; spans are emitted at launch end
+    /// (never from the hot path) and only when the recorder is enabled.
+    recorder: Option<ecl_obs::Recorder>,
+    /// Cumulative kernel cycles, the `ts` base of the simulated timeline.
+    timeline_cycles: u64,
 }
 
-/// Counters accumulated while a launch is in flight.
+/// Counters accumulated while a launch is in flight. All fields are pure
+/// bookkeeping: they never influence cycle charges, cache behaviour, or
+/// fault-RNG draws, so recording them cannot perturb the golden-pinned
+/// serial timing record.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct LaunchCounters {
     pub instructions: u64,
@@ -206,6 +310,39 @@ pub(crate) struct LaunchCounters {
     pub dram: u64,
     pub atomics: u64,
     pub warps: u64,
+    pub alu_cycles: u64,
+    pub l1_cycles: u64,
+    pub l2_cycles: u64,
+    pub dram_cycles: u64,
+    pub atomic_cycles: u64,
+    pub stall_cycles: u64,
+    pub cas_attempts: u64,
+    pub cas_failures: u64,
+    pub mask_ops: u64,
+    pub active_lanes: u64,
+    pub full_mask_ops: u64,
+}
+
+impl LaunchCounters {
+    /// Adds a detached SM's counters back into the launch total.
+    fn merge(&mut self, other: &LaunchCounters) {
+        self.instructions += other.instructions;
+        self.l1_hits += other.l1_hits;
+        self.dram += other.dram;
+        self.atomics += other.atomics;
+        self.warps += other.warps;
+        self.alu_cycles += other.alu_cycles;
+        self.l1_cycles += other.l1_cycles;
+        self.l2_cycles += other.l2_cycles;
+        self.dram_cycles += other.dram_cycles;
+        self.atomic_cycles += other.atomic_cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.cas_attempts += other.cas_attempts;
+        self.cas_failures += other.cas_failures;
+        self.mask_ops += other.mask_ops;
+        self.active_lanes += other.active_lanes;
+        self.full_mask_ops += other.full_mask_ops;
+    }
 }
 
 /// One simulated SM's exclusive state, detached from the [`Gpu`] for the
@@ -258,7 +395,36 @@ impl Gpu {
             exec: ExecMode::Serial,
             warp_order: Vec::new(),
             parallel_items: Vec::new(),
+            recorder: None,
+            timeline_cycles: 0,
         }
+    }
+
+    /// Attaches (or with `None` detaches) an observability recorder.
+    /// Recording is observation-only: it reads counters the simulator
+    /// maintains unconditionally, so cycles, cache stats, and fault-RNG
+    /// streams are bit-identical with a recorder attached or not.
+    pub fn set_recorder(&mut self, recorder: Option<ecl_obs::Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&ecl_obs::Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Current position on the simulated-cycle trace timeline (the sum
+    /// of all launched kernels' cycles since the last reset or origin
+    /// change). Kernel spans are emitted at this offset.
+    pub fn timeline_cycles(&self) -> u64 {
+        self.timeline_cycles
+    }
+
+    /// Moves the trace timeline origin, so that several runs (possibly
+    /// on fresh devices) can share one recorder without their kernel
+    /// spans overlapping. Affects only span timestamps, never timing.
+    pub fn set_timeline_origin(&mut self, cycles: u64) {
+        self.timeline_cycles = cycles;
     }
 
     /// Takes the per-SM item scratch, cleared and sized to `num_sms`, with
@@ -421,7 +587,7 @@ impl Gpu {
         F: FnMut(&mut WarpCtx),
     {
         self.begin_launch();
-        let l2_before = self.l2_stats();
+        let before = (self.l1_stats(), self.l2_stats());
         self.cur = LaunchCounters::default();
 
         let warps_per_block = self.profile.warps_per_block();
@@ -445,7 +611,7 @@ impl Gpu {
             self.cur.warps += 1;
         }
         self.warp_order = order;
-        self.finish_launch(name, l2_before)
+        self.finish_launch(name, before)
     }
 
     /// Launches a block-granularity kernel: the closure runs once per
@@ -456,7 +622,7 @@ impl Gpu {
         F: FnMut(&mut BlockCtx),
     {
         self.begin_launch();
-        let l2_before = self.l2_stats();
+        let before = (self.l1_stats(), self.l2_stats());
         self.cur = LaunchCounters::default();
 
         let mut order = std::mem::take(&mut self.warp_order);
@@ -471,7 +637,7 @@ impl Gpu {
             body(&mut ctx);
         }
         self.warp_order = order;
-        self.finish_launch(name, l2_before)
+        self.finish_launch(name, before)
     }
 
     /// Fallible form of [`Self::launch_warps`]: converts watchdog aborts
@@ -599,7 +765,7 @@ impl Gpu {
         R: Fn(&mut SmView<'_>, usize) + Sync,
     {
         self.begin_launch();
-        let l2_before = self.l2_stats();
+        let before = (self.l1_stats(), self.l2_stats());
         self.cur = LaunchCounters::default();
 
         let num_sms = self.profile.num_sms;
@@ -777,11 +943,7 @@ impl Gpu {
         item_scratch.clear();
         for slot in slots {
             self.sm_cycles[slot.sm] = slot.cycles;
-            self.cur.instructions += slot.counters.instructions;
-            self.cur.l1_hits += slot.counters.l1_hits;
-            self.cur.dram += slot.counters.dram;
-            self.cur.atomics += slot.counters.atomics;
-            self.cur.warps += slot.counters.warps;
+            self.cur.merge(&slot.counters);
             l1s.push(slot.l1);
             l2s.push(slot.l2);
             item_scratch.push(slot.items);
@@ -792,7 +954,7 @@ impl Gpu {
         if let Some(payload) = first_panic {
             return Err(Self::classify_abort(name, payload));
         }
-        Ok(self.finish_launch(name, l2_before))
+        Ok(self.finish_launch(name, before))
     }
 
     /// Cheap device self-test for circuit-breaker half-open probes.
@@ -921,14 +1083,16 @@ impl Gpu {
         total
     }
 
-    fn finish_launch(&mut self, name: &str, l2_before: CacheStats) -> KernelStats {
-        let max_delta = self
+    fn finish_launch(&mut self, name: &str, before: (CacheStats, CacheStats)) -> KernelStats {
+        let (l1_before, l2_before) = before;
+        let sm_cycle_deltas: Vec<u64> = self
             .sm_cycles
             .iter()
             .zip(&self.launch_start_sm)
             .map(|(now, then)| now - then)
-            .max()
-            .unwrap_or(0);
+            .collect();
+        let max_delta = sm_cycle_deltas.iter().copied().max().unwrap_or(0);
+        let l1_now = self.l1_stats();
         let l2_now = self.l2_stats();
         let stats = KernelStats {
             name: name.to_string(),
@@ -940,9 +1104,80 @@ impl Gpu {
             dram_transactions: self.cur.dram,
             atomics: self.cur.atomics,
             warps: self.cur.warps,
+            alu_cycles: self.cur.alu_cycles,
+            l1_cycles: self.cur.l1_cycles,
+            l2_cycles: self.cur.l2_cycles,
+            dram_cycles: self.cur.dram_cycles,
+            atomic_cycles: self.cur.atomic_cycles,
+            stall_cycles: self.cur.stall_cycles,
+            cas_attempts: self.cur.cas_attempts,
+            cas_failures: self.cur.cas_failures,
+            mask_ops: self.cur.mask_ops,
+            active_lanes: self.cur.active_lanes,
+            full_mask_ops: self.cur.full_mask_ops,
+            sm_cycle_deltas,
+            l1_cache: l1_now.delta(&l1_before),
+            l2_cache: l2_now.delta(&l2_before),
         };
+        self.emit_launch_span(&stats);
+        self.timeline_cycles += stats.cycles;
         self.kernels.push(stats.clone());
         stats
+    }
+
+    /// Emits the per-launch span tree and metric updates. Runs only at
+    /// launch end (the "span close" of the recording contract), buffers
+    /// locally, and merges with one lock; a disabled or absent recorder
+    /// costs one branch.
+    fn emit_launch_span(&self, stats: &KernelStats) {
+        let Some(rec) = &self.recorder else { return };
+        if !rec.is_enabled() {
+            return;
+        }
+        use ecl_obs::{TraceEvent, PID_SIM};
+        let ts = self.timeline_cycles;
+        let mut buf = rec.local();
+        buf.push(
+            TraceEvent::span(&stats.name, "kernel", PID_SIM, 0, ts, stats.cycles)
+                .arg_u64("instructions", stats.instructions)
+                .arg_u64("warps", stats.warps)
+                .arg_u64("alu_cycles", stats.alu_cycles)
+                .arg_u64("l1_cycles", stats.l1_cycles)
+                .arg_u64("l2_cycles", stats.l2_cycles)
+                .arg_u64("dram_cycles", stats.dram_cycles)
+                .arg_u64("atomic_cycles", stats.atomic_cycles)
+                .arg_u64("stall_cycles", stats.stall_cycles)
+                .arg_u64("cas_attempts", stats.cas_attempts)
+                .arg_u64("cas_failures", stats.cas_failures)
+                .arg_f64("warp_occupancy", stats.warp_occupancy())
+                .arg_f64("divergence_ratio", stats.divergence_ratio())
+                .arg_f64("l1_read_hit_ratio", stats.l1_cache.read_hit_ratio())
+                .arg_f64("l2_read_hit_ratio", stats.l2_cache.read_hit_ratio())
+                .arg_u64("dram_transactions", stats.dram_transactions),
+        );
+        // One sub-span per SM that did work: the launch's load-balance
+        // picture, rendered as per-SM tracks under the kernel row.
+        for (sm, &delta) in stats.sm_cycle_deltas.iter().enumerate() {
+            if delta > 0 {
+                buf.push(TraceEvent::span(
+                    &format!("{}@sm{sm}", stats.name),
+                    "sm",
+                    PID_SIM,
+                    sm as u32 + 1,
+                    ts,
+                    delta,
+                ));
+            }
+        }
+        rec.merge(&mut buf);
+        rec.add_metric("sim.cycles", stats.cycles as f64);
+        rec.add_metric("sim.instructions", stats.instructions as f64);
+        rec.add_metric("sim.warps", stats.warps as f64);
+        rec.add_metric("sim.atomics", stats.atomics as f64);
+        rec.add_metric("sim.dram_transactions", stats.dram_transactions as f64);
+        rec.add_metric("sim.cas_attempts", stats.cas_attempts as f64);
+        rec.add_metric("sim.cas_failures", stats.cas_failures as f64);
+        rec.add_metric("sim.launches", 1.0);
     }
 
     /// Stats of every kernel launched so far, in launch order.
@@ -986,6 +1221,7 @@ impl Gpu {
     /// already resident).
     pub fn reset_profiling(&mut self) {
         self.kernels.clear();
+        self.timeline_cycles = 0;
         for c in &mut self.l1 {
             c.flush();
         }

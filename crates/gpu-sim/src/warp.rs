@@ -132,6 +132,20 @@ impl<'a> WarpCtx<'a> {
         let cost = n * self.view.profile.alu_cycles;
         self.view.charge(cost);
         self.view.counters.instructions += n;
+        self.view.counters.alu_cycles += cost;
+    }
+
+    /// Divergence bookkeeping for one masked warp instruction. Pure
+    /// counting — no cycles, no cache traffic, no RNG draws — so the
+    /// golden serial timing record is unaffected.
+    #[inline]
+    fn note_mask(&mut self, mask: Mask) {
+        let c = &mut *self.view.counters;
+        c.mask_ops += 1;
+        c.active_lanes += mask.count() as u64;
+        if mask == Mask::ALL {
+            c.full_mask_ops += 1;
+        }
     }
 
     /// Gathers `ptr[idx[lane]]` for every active lane. Inactive lanes
@@ -141,6 +155,7 @@ impl<'a> WarpCtx<'a> {
         if mask.none() {
             return out;
         }
+        self.note_mask(mask);
         self.issue_transactions(ptr, idx, mask, false);
         for lane in mask.iter() {
             out.set(lane, self.view.mem.read(ptr, idx.get(lane) as usize));
@@ -157,6 +172,7 @@ impl<'a> WarpCtx<'a> {
         if mask.none() {
             return;
         }
+        self.note_mask(mask);
         self.issue_transactions(ptr, idx, mask, true);
         for lane in mask.iter() {
             self.view
@@ -170,6 +186,7 @@ impl<'a> WarpCtx<'a> {
     /// broadcast to the caller).
     pub fn load_uniform(&mut self, ptr: DevicePtr, idx: u32) -> u32 {
         let lanes = Lanes::splat(idx);
+        self.note_mask(Mask(1));
         self.issue_transactions(ptr, &lanes, Mask(1), false);
         self.view.counters.instructions += 1;
         self.view.mem.read(ptr, idx as usize)
@@ -188,6 +205,9 @@ impl<'a> WarpCtx<'a> {
         mask: Mask,
     ) -> Lanes {
         let mut out = Lanes::default();
+        if mask.any() {
+            self.note_mask(mask);
+        }
         let cas_fault = self.view.fault.cas_spurious_permille;
         let mut cost = 0;
         for lane in mask.iter() {
@@ -209,6 +229,14 @@ impl<'a> WarpCtx<'a> {
             } else {
                 out.set(lane, old);
             }
+            // Contention bookkeeping: a lane "failed" when the value it
+            // observed differs from its comparand (lost races and injected
+            // spurious failures alike — both send the caller around its
+            // retry loop).
+            self.view.counters.cas_attempts += 1;
+            if out.get(lane) != cmpv {
+                self.view.counters.cas_failures += 1;
+            }
             cost += self.atomic_transaction(ptr, idx.get(lane));
         }
         self.view.charge(cost);
@@ -220,6 +248,9 @@ impl<'a> WarpCtx<'a> {
     /// Returns the pre-add value each lane observed.
     pub fn atomic_add(&mut self, ptr: DevicePtr, idx: &Lanes, val: &Lanes, mask: Mask) -> Lanes {
         let mut out = Lanes::default();
+        if mask.any() {
+            self.note_mask(mask);
+        }
         let mut cost = 0;
         for lane in mask.iter() {
             let i = idx.get(lane) as usize;
@@ -234,6 +265,9 @@ impl<'a> WarpCtx<'a> {
     /// Per-lane `atomicMin(&ptr[idx], val)`; returns pre-min values.
     pub fn atomic_min(&mut self, ptr: DevicePtr, idx: &Lanes, val: &Lanes, mask: Mask) -> Lanes {
         let mut out = Lanes::default();
+        if mask.any() {
+            self.note_mask(mask);
+        }
         let mut cost = 0;
         for lane in mask.iter() {
             let i = idx.get(lane) as usize;
@@ -308,7 +342,10 @@ impl<'a> WarpCtx<'a> {
         }
         let _ = self.view.l2.access(addr, true);
         self.view.counters.atomics += 1;
-        self.view.profile.atomic_cycles + self.injected_delay()
+        let delay = self.injected_delay();
+        self.view.counters.atomic_cycles += self.view.profile.atomic_cycles;
+        self.view.counters.stall_cycles += delay;
+        self.view.profile.atomic_cycles + delay
     }
 
     /// Extra cycles for this transaction under a memory-delay fault plan
@@ -364,26 +401,34 @@ impl<'a> WarpCtx<'a> {
         let prof_l1 = self.view.profile.l1_hit_cycles;
         let prof_l2 = self.view.profile.l2_hit_cycles;
         let prof_dram = self.view.profile.dram_cycles;
-        let mut cost = 0;
+        // Cycle cost is accumulated per service level (L1/L2/DRAM, plus
+        // fault-injected stalls) so launch stats can attribute occupancy;
+        // the charged total — and the RNG draw sequence behind
+        // `injected_delay` — is exactly the same as before the split.
+        let mut l1_cyc = 0;
+        let mut l2_cyc = 0;
+        let mut dram_cyc = 0;
+        let mut stall = 0;
         let mut l1_hits = 0;
         let mut dram = 0;
         for &addr in &sectors[..count] {
             match self.view.l1.access(addr, is_write) {
                 Lookup::Hit => {
                     l1_hits += 1;
-                    cost += prof_l1 + self.injected_delay();
+                    l1_cyc += prof_l1;
+                    stall += self.injected_delay();
                 }
                 Lookup::Miss { evicted_dirty } => {
                     // Fill from L2 (write-allocate: stores also fill).
                     let l2r = self.view.l2.access(addr, false);
-                    cost += match l2r {
-                        Lookup::Hit => prof_l2,
+                    match l2r {
+                        Lookup::Hit => l2_cyc += prof_l2,
                         Lookup::Miss { .. } => {
                             dram += 1;
-                            prof_dram
+                            dram_cyc += prof_dram;
                         }
-                    };
-                    cost += self.injected_delay();
+                    }
+                    stall += self.injected_delay();
                     // Dirty sectors evicted from L1 are L2 write accesses.
                     for _ in 0..evicted_dirty {
                         let _ = self.view.l2.access(addr, true);
@@ -391,9 +436,14 @@ impl<'a> WarpCtx<'a> {
                 }
             }
         }
-        self.view.counters.l1_hits += l1_hits;
-        self.view.counters.dram += dram;
-        self.view.charge(cost);
+        let counters = &mut *self.view.counters;
+        counters.l1_hits += l1_hits;
+        counters.dram += dram;
+        counters.l1_cycles += l1_cyc;
+        counters.l2_cycles += l2_cyc;
+        counters.dram_cycles += dram_cyc;
+        counters.stall_cycles += stall;
+        self.view.charge(l1_cyc + l2_cyc + dram_cyc + stall);
     }
 }
 

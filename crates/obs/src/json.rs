@@ -1,0 +1,446 @@
+//! Minimal hand-rolled JSON: a writer every stats surface in the
+//! workspace shares, and a parser for validating/round-tripping our own
+//! artifacts.
+//!
+//! The workspace builds offline with no serde, so several crates grew
+//! private copies of the same escaping code (`bench/report.rs`,
+//! `engine/report.rs`). This module is now the single serialization
+//! path: emitters build objects with [`Obj`], consumers (tests, the
+//! `profile --validate` flag, ci.sh) parse with [`parse`].
+//!
+//! The parser accepts the JSON we emit plus ordinary standards-compliant
+//! documents; it keeps numbers as `f64` (every value we write fits well
+//! inside the 2^53 exact-integer range).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` the way JSON expects (no NaN/inf — mapped to null).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object writer: fields are emitted in call order.
+#[derive(Default)]
+pub struct Obj {
+    parts: Vec<String>,
+}
+
+impl Obj {
+    /// Creates an empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Obj {
+        self.parts
+            .push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Obj {
+        self.parts.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Adds a float field (NaN/inf become null).
+    pub fn f64(mut self, key: &str, value: f64) -> Obj {
+        self.parts
+            .push(format!("\"{}\":{}", escape(key), fmt_f64(value)));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Obj {
+        self.parts.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Adds a field whose value is already-serialized JSON.
+    pub fn raw(mut self, key: &str, json: &str) -> Obj {
+        self.parts.push(format!("\"{}\":{}", escape(key), json));
+        self
+    }
+
+    /// Adds an array field from already-serialized JSON elements.
+    pub fn arr(self, key: &str, items: &[String]) -> Obj {
+        let body = items.join(",");
+        self.raw(key, &format!("[{body}]"))
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (kept as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, when integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The array payload, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object fields as a map (later duplicates win), when an object.
+    pub fn as_map(&self) -> Option<BTreeMap<&str, &Value>> {
+        match self {
+            Value::Obj(fields) => Some(fields.iter().map(|(k, v)| (k.as_str(), v)).collect()),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document. Errors carry a byte offset for debugging.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other, self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number '{text}' at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Combine surrogate pairs; a lone surrogate is
+                            // replaced rather than rejected (we never emit
+                            // them, but stay robust to foreign files).
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos + 1..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined).unwrap_or('\u{fffd}')
+                                } else {
+                                    '\u{fffd}'
+                                }
+                            } else {
+                                char::from_u32(cp).unwrap_or('\u{fffd}')
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(format!("bad escape {:?} at byte {}", other, self.pos))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let start = self.pos + 1;
+        let hex = self
+            .bytes
+            .get(start..start + 4)
+            .ok_or_else(|| "truncated \\u escape".to_string())?;
+        let text = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+        let cp = u32::from_str_radix(text, 16).map_err(|e| format!("bad \\u escape: {e}"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']' got {:?}", other)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}' got {:?}", other)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_matches_legacy_behaviour() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn obj_builder_emits_in_order() {
+        let j = Obj::new()
+            .str("name", "a\"b")
+            .u64("n", 7)
+            .f64("x", 1.5)
+            .bool("ok", true)
+            .raw("inner", "{\"k\":1}")
+            .arr("items", &["1".into(), "2".into()])
+            .build();
+        assert_eq!(
+            j,
+            "{\"name\":\"a\\\"b\",\"n\":7,\"x\":1.5,\"ok\":true,\
+             \"inner\":{\"k\":1},\"items\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn nan_is_null() {
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(2.0), "2");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let j = Obj::new()
+            .str("s", "x\ty\n\"z\"")
+            .u64("u", 123456789)
+            .f64("f", -0.25)
+            .bool("b", false)
+            .arr("a", &["null".into(), "\"s\"".into()])
+            .build();
+        let v = parse(&j).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\ty\n\"z\""));
+        assert_eq!(v.get("u").unwrap().as_u64(), Some(123456789));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(-0.25));
+        assert_eq!(v.get("b"), Some(&Value::Bool(false)));
+        assert_eq!(
+            v.get("a").unwrap().as_arr(),
+            Some(&[Value::Null, Value::Str("s".into())][..])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_handles_nesting_and_unicode() {
+        let v = parse("{\"a\": [1, {\"b\": \"\\u00e9\\ud83d\\ude00\"}], \"c\": null}").unwrap();
+        let inner = &v.get("a").unwrap().as_arr().unwrap()[1];
+        assert_eq!(inner.get("b").unwrap().as_str(), Some("é😀"));
+        assert_eq!(v.get("c"), Some(&Value::Null));
+    }
+}

@@ -1,0 +1,30 @@
+//! `ecl-obs` — the workspace's observability layer.
+//!
+//! Three pieces, all std-only and zero-overhead when disabled:
+//!
+//! * [`Recorder`] / [`LocalBuf`]: spans, events and counters with
+//!   per-thread ring buffers (no locks on the hot path, merged at span
+//!   close). A disabled recorder is inert; recording never perturbs the
+//!   simulator's golden-pinned cycle counts or cache statistics.
+//! * Exporters: Chrome trace-event JSON ([`chrome_trace_json`],
+//!   loadable in `chrome://tracing`), a flat metrics document
+//!   ([`Recorder::metrics_json`]), and the text profile report
+//!   ([`report::profile_report`]) regenerating the paper's Table 3 and
+//!   §4.5 per-phase ablation.
+//! * [`json`]: the shared hand-rolled JSON writer + parser every stats
+//!   surface in the workspace serializes through (the workspace builds
+//!   offline with no serde).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod recorder;
+pub mod report;
+pub mod trace;
+
+pub use recorder::{LocalBuf, Recorder, DEFAULT_RING_CAPACITY};
+pub use trace::{
+    chrome_trace_json, parse_chrome_trace, validate_chrome_trace, validate_metrics_json, ArgValue,
+    EventKind, TraceEvent, TraceSummary, METRICS_SCHEMA, PID_ENGINE, PID_SIM, TRACE_SCHEMA,
+};

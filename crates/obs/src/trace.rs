@@ -1,0 +1,362 @@
+//! Trace-event model and the Chrome trace-event JSON exporter.
+//!
+//! Events follow the Chrome trace-event format so artifacts load
+//! directly in `chrome://tracing` / Perfetto: complete spans (`ph:"X"`),
+//! instant events (`ph:"i"`) and counter samples (`ph:"C"`). Two track
+//! groups (pids) are used: [`PID_SIM`] carries simulator kernels on a
+//! *simulated-cycle* timeline (1 cycle rendered as 1 µs), [`PID_ENGINE`]
+//! carries engine/ladder/CLI spans on the host wall-clock timeline.
+//! The two never share a pid, so mixing timebases is safe.
+
+use crate::json::{self, Obj, Value};
+
+/// Track group for simulator events; `ts`/`dur` are simulated cycles.
+pub const PID_SIM: u32 = 1;
+/// Track group for engine/ladder/host events; `ts`/`dur` are wall µs.
+pub const PID_ENGINE: u32 = 2;
+
+/// A typed argument attached to an event (`args` in the Chrome format).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Numeric argument (integers round-trip exactly below 2^53).
+    Num(f64),
+    /// String argument.
+    Str(String),
+}
+
+/// What kind of event this is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A complete span (`ph:"X"`) with a duration.
+    Span {
+        /// Duration in the track's timebase (cycles or µs).
+        dur: u64,
+    },
+    /// A zero-duration instant event (`ph:"i"`).
+    Instant,
+    /// A counter sample (`ph:"C"`); the value is in `args.value`.
+    Counter {
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// One trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (kernel name, job name, breaker transition, ...).
+    pub name: String,
+    /// Category, used by trace viewers for filtering.
+    pub cat: String,
+    /// Track group ([`PID_SIM`] or [`PID_ENGINE`]).
+    pub pid: u32,
+    /// Track within the group (SM index, worker index, ...).
+    pub tid: u32,
+    /// Start timestamp in the track's timebase.
+    pub ts: u64,
+    /// Span / instant / counter payload.
+    pub kind: EventKind,
+    /// Extra key-value arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// A complete span.
+    pub fn span(name: &str, cat: &str, pid: u32, tid: u32, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid,
+            tid,
+            ts,
+            kind: EventKind::Span { dur },
+            args: Vec::new(),
+        }
+    }
+
+    /// An instant event.
+    pub fn instant(name: &str, cat: &str, pid: u32, tid: u32, ts: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid,
+            tid,
+            ts,
+            kind: EventKind::Instant,
+            args: Vec::new(),
+        }
+    }
+
+    /// A counter sample.
+    pub fn counter(name: &str, cat: &str, pid: u32, ts: u64, value: f64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid,
+            tid: 0,
+            ts,
+            kind: EventKind::Counter { value },
+            args: Vec::new(),
+        }
+    }
+
+    /// Attaches a numeric argument (builder style).
+    pub fn arg_u64(mut self, key: &str, value: u64) -> TraceEvent {
+        self.args
+            .push((key.to_string(), ArgValue::Num(value as f64)));
+        self
+    }
+
+    /// Attaches a float argument (builder style).
+    pub fn arg_f64(mut self, key: &str, value: f64) -> TraceEvent {
+        self.args.push((key.to_string(), ArgValue::Num(value)));
+        self
+    }
+
+    /// Attaches a string argument (builder style).
+    pub fn arg_str(mut self, key: &str, value: &str) -> TraceEvent {
+        self.args
+            .push((key.to_string(), ArgValue::Str(value.to_string())));
+        self
+    }
+
+    /// Serializes one event as a Chrome trace-event object.
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new()
+            .str("name", &self.name)
+            .str("cat", &self.cat)
+            .u64("pid", self.pid as u64)
+            .u64("tid", self.tid as u64)
+            .u64("ts", self.ts);
+        let mut args = self.args.clone();
+        match &self.kind {
+            EventKind::Span { dur } => {
+                o = o.str("ph", "X").u64("dur", *dur);
+            }
+            EventKind::Instant => {
+                o = o.str("ph", "i").str("s", "t");
+            }
+            EventKind::Counter { value } => {
+                o = o.str("ph", "C");
+                args.insert(0, ("value".to_string(), ArgValue::Num(*value)));
+            }
+        }
+        let body: Vec<String> = args
+            .iter()
+            .map(|(k, v)| {
+                let v = match v {
+                    ArgValue::Num(n) => json::fmt_f64(*n),
+                    ArgValue::Str(s) => format!("\"{}\"", json::escape(s)),
+                };
+                format!("\"{}\":{}", json::escape(k), v)
+            })
+            .collect();
+        o.raw("args", &format!("{{{}}}", body.join(","))).build()
+    }
+}
+
+/// Serializes events as a `chrome://tracing`-loadable document.
+///
+/// `metadata` lands under `otherData` next to the schema tag.
+pub fn chrome_trace_json(events: &[TraceEvent], metadata: &[(String, String)]) -> String {
+    let rows: Vec<String> = events
+        .iter()
+        .map(|e| format!("  {}", e.to_json()))
+        .collect();
+    let mut other = Obj::new().str("schema", TRACE_SCHEMA);
+    for (k, v) in metadata {
+        other = other.str(k, v);
+    }
+    format!(
+        "{{\n\"traceEvents\": [\n{}\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {}\n}}\n",
+        rows.join(",\n"),
+        other.build()
+    )
+}
+
+/// Schema tag stamped into every trace document's `otherData`.
+pub const TRACE_SCHEMA: &str = "ecl-trace-v1";
+/// Schema tag stamped into every metrics document.
+pub const METRICS_SCHEMA: &str = "ecl-metrics-v1";
+
+/// Summary of a validated trace document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events.
+    pub events: usize,
+    /// Complete spans (`ph:"X"`).
+    pub spans: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Counter samples.
+    pub counters: usize,
+}
+
+/// Parses a Chrome trace-event document back into [`TraceEvent`]s.
+///
+/// Only the phases we emit (`X`, `i`, `C`) are accepted; this is the
+/// round-trip half of the exporter, used by tests and `--validate`.
+pub fn parse_chrome_trace(doc: &str) -> Result<Vec<TraceEvent>, String> {
+    let v = json::parse(doc)?;
+    let schema = v
+        .get("otherData")
+        .and_then(|o| o.get("schema"))
+        .and_then(Value::as_str);
+    if schema != Some(TRACE_SCHEMA) {
+        return Err(format!(
+            "otherData.schema is {schema:?}, expected {TRACE_SCHEMA:?}"
+        ));
+    }
+    let rows = v
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut events = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        events.push(parse_event(row).map_err(|e| format!("event {i}: {e}"))?);
+    }
+    Ok(events)
+}
+
+fn parse_event(row: &Value) -> Result<TraceEvent, String> {
+    let field_str = |k: &str| -> Result<String, String> {
+        row.get(k)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or(format!("missing string field {k:?}"))
+    };
+    let field_u64 = |k: &str| -> Result<u64, String> {
+        row.get(k)
+            .and_then(Value::as_u64)
+            .ok_or(format!("missing integer field {k:?}"))
+    };
+    let mut args: Vec<(String, ArgValue)> = Vec::new();
+    if let Some(Value::Obj(fields)) = row.get("args") {
+        for (k, v) in fields {
+            let arg = match v {
+                Value::Num(n) => ArgValue::Num(*n),
+                Value::Str(s) => ArgValue::Str(s.clone()),
+                other => return Err(format!("unsupported arg type for {k:?}: {other:?}")),
+            };
+            args.push((k.clone(), arg));
+        }
+    }
+    let kind = match field_str("ph")?.as_str() {
+        "X" => EventKind::Span {
+            dur: field_u64("dur")?,
+        },
+        "i" => EventKind::Instant,
+        "C" => {
+            let pos = args
+                .iter()
+                .position(|(k, _)| k == "value")
+                .ok_or("counter event without args.value")?;
+            let (_, v) = args.remove(pos);
+            match v {
+                ArgValue::Num(n) => EventKind::Counter { value: n },
+                ArgValue::Str(_) => return Err("counter value must be numeric".into()),
+            }
+        }
+        other => return Err(format!("unsupported phase {other:?}")),
+    };
+    Ok(TraceEvent {
+        name: field_str("name")?,
+        cat: field_str("cat")?,
+        pid: field_u64("pid")? as u32,
+        tid: field_u64("tid")? as u32,
+        ts: field_u64("ts")?,
+        kind,
+        args,
+    })
+}
+
+/// Validates a trace document against the documented schema and returns
+/// counts per event kind.
+pub fn validate_chrome_trace(doc: &str) -> Result<TraceSummary, String> {
+    let events = parse_chrome_trace(doc)?;
+    let mut s = TraceSummary {
+        events: events.len(),
+        ..TraceSummary::default()
+    };
+    for e in &events {
+        if e.name.is_empty() {
+            return Err("event with empty name".into());
+        }
+        match e.kind {
+            EventKind::Span { .. } => s.spans += 1,
+            EventKind::Instant => s.instants += 1,
+            EventKind::Counter { .. } => s.counters += 1,
+        }
+    }
+    Ok(s)
+}
+
+/// Validates a flat metrics document (`{"schema": ..., "metrics": {...}}`)
+/// and returns the number of metrics.
+pub fn validate_metrics_json(doc: &str) -> Result<usize, String> {
+    let v = json::parse(doc)?;
+    let schema = v.get("schema").and_then(Value::as_str);
+    if schema != Some(METRICS_SCHEMA) {
+        return Err(format!("schema is {schema:?}, expected {METRICS_SCHEMA:?}"));
+    }
+    match v.get("metrics") {
+        Some(Value::Obj(fields)) => {
+            for (k, v) in fields {
+                if !matches!(v, Value::Num(_)) {
+                    return Err(format!("metric {k:?} is not numeric"));
+                }
+            }
+            Ok(fields.len())
+        }
+        _ => Err("missing metrics object".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_round_trips_exactly() {
+        let ev = TraceEvent::span("compute1", "kernel", PID_SIM, 0, 24996, 17754)
+            .arg_u64("instructions", 12345)
+            .arg_f64("l1_hit_ratio", 0.882)
+            .arg_str("device", "titan-x");
+        let doc = chrome_trace_json(std::slice::from_ref(&ev), &[]);
+        let back = parse_chrome_trace(&doc).unwrap();
+        assert_eq!(back, vec![ev]);
+    }
+
+    #[test]
+    fn counter_and_instant_round_trip() {
+        let evs = vec![
+            TraceEvent::counter("queue_depth", "engine", PID_ENGINE, 100, 3.0),
+            TraceEvent::instant("breaker:gpu-sim closed->open", "breaker", PID_ENGINE, 7, 42)
+                .arg_str("from", "closed"),
+        ];
+        let doc = chrome_trace_json(&evs, &[("graph".into(), "rmat16".into())]);
+        assert_eq!(parse_chrome_trace(&doc).unwrap(), evs);
+        let s = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(
+            s,
+            TraceSummary {
+                events: 2,
+                spans: 0,
+                instants: 1,
+                counters: 1
+            }
+        );
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema() {
+        let doc = "{\"traceEvents\": [], \"otherData\": {\"schema\": \"bogus\"}}";
+        assert!(validate_chrome_trace(doc).is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let doc = chrome_trace_json(&[], &[]);
+        assert_eq!(validate_chrome_trace(&doc).unwrap().events, 0);
+    }
+}

@@ -30,26 +30,37 @@ struct Golden {
 }
 
 fn check_golden(g: &CsrGraph, profile: DeviceProfile, fault: FaultPlan, want: &Golden) {
-    let mut gpu = Gpu::new(profile);
-    gpu.set_fault_plan(fault);
-    let (r, s) = ecl_cc::gpu::run(&mut gpu, g, &EclConfig::default());
-    assert_eq!(s.total_cycles(), want.total_cycles, "total_cycles");
-    assert_eq!(s.l2_reads(), want.l2_reads, "l2_reads");
-    assert_eq!(s.l2_writes(), want.l2_writes, "l2_writes");
-    assert_eq!(r.num_components(), want.components, "components");
-    assert_eq!(s.kernels.len(), want.kernels.len());
-    for (k, w) in s.kernels.iter().zip(&want.kernels) {
-        let got = (
-            k.cycles,
-            k.instructions,
-            k.l1_hit_transactions,
-            k.l2_read_accesses,
-            k.l2_write_accesses,
-            k.dram_transactions,
-            k.atomics,
-            k.warps,
-        );
-        assert_eq!(got, *w, "kernel {}", k.name);
+    // Every golden must hold with recording off AND on: the observability
+    // recorder is observation-only, so attaching an enabled recorder must
+    // not move a single cycle, cache access, or fault-RNG draw.
+    for recorder in [None, Some(ecl_obs::Recorder::new())] {
+        let tag = if recorder.is_some() {
+            "recording"
+        } else {
+            "plain"
+        };
+        let mut gpu = Gpu::new(profile.clone());
+        gpu.set_fault_plan(fault);
+        gpu.set_recorder(recorder);
+        let (r, s) = ecl_cc::gpu::run(&mut gpu, g, &EclConfig::default());
+        assert_eq!(s.total_cycles(), want.total_cycles, "{tag}: total_cycles");
+        assert_eq!(s.l2_reads(), want.l2_reads, "{tag}: l2_reads");
+        assert_eq!(s.l2_writes(), want.l2_writes, "{tag}: l2_writes");
+        assert_eq!(r.num_components(), want.components, "{tag}: components");
+        assert_eq!(s.kernels.len(), want.kernels.len());
+        for (k, w) in s.kernels.iter().zip(&want.kernels) {
+            let got = (
+                k.cycles,
+                k.instructions,
+                k.l1_hit_transactions,
+                k.l2_read_accesses,
+                k.l2_write_accesses,
+                k.dram_transactions,
+                k.atomics,
+                k.warps,
+            );
+            assert_eq!(got, *w, "{tag}: kernel {}", k.name);
+        }
     }
 }
 
@@ -126,17 +137,23 @@ fn serial_cycles_pinned_rmat_k40() {
 #[test]
 fn serial_fault_run_pinned() {
     let g = generate::gnm_random(2000, 6000, 42);
-    let mut gpu = Gpu::new(DeviceProfile::titan_x());
-    gpu.set_fault_plan(FaultPlan::everything(0xfa11));
-    let (r, s) = ecl_cc::gpu::run(&mut gpu, &g, &EclConfig::default());
-    assert_eq!(s.total_cycles(), 158142);
-    assert_eq!(s.l2_reads(), 3293);
-    assert_eq!(s.l2_writes(), 376);
-    assert_eq!(r.num_components(), 5);
-    let cycles: Vec<u64> = s.kernels.iter().map(|k| k.cycles).collect();
-    assert_eq!(cycles, [44418, 98932, 4000, 4000, 6792]);
-    assert_eq!(s.kernels[1].atomics, 376);
-    assert!((gpu.sm_balance() - 0.262795).abs() < 1e-6);
+    // The fault-RNG draw sequence is the part of the timing record most
+    // easily perturbed by a stray observation, so this golden also runs
+    // with an enabled recorder attached.
+    for recorder in [None, Some(ecl_obs::Recorder::new())] {
+        let mut gpu = Gpu::new(DeviceProfile::titan_x());
+        gpu.set_fault_plan(FaultPlan::everything(0xfa11));
+        gpu.set_recorder(recorder);
+        let (r, s) = ecl_cc::gpu::run(&mut gpu, &g, &EclConfig::default());
+        assert_eq!(s.total_cycles(), 158142);
+        assert_eq!(s.l2_reads(), 3293);
+        assert_eq!(s.l2_writes(), 376);
+        assert_eq!(r.num_components(), 5);
+        let cycles: Vec<u64> = s.kernels.iter().map(|k| k.cycles).collect();
+        assert_eq!(cycles, [44418, 98932, 4000, 4000, 6792]);
+        assert_eq!(s.kernels[1].atomics, 376);
+        assert!((gpu.sm_balance() - 0.262795).abs() < 1e-6);
+    }
 }
 
 /// The certified-equivalence contract: across worker counts and fault
@@ -228,10 +245,19 @@ fn serial_cache_stats_pinned_per_level() {
         ),
     ];
     for (name, g, profile, l1_want, l2_want) in cases {
-        let mut gpu = Gpu::new(profile);
-        let _ = ecl_cc::gpu::run(&mut gpu, &g, &EclConfig::default());
-        assert_eq!(project(gpu.l1_stats()), l1_want, "{name}: L1 stats");
-        assert_eq!(project(gpu.l2_stats()), l2_want, "{name}: L2 stats");
+        // Cache goldens, like cycle goldens, must hold with recording on.
+        for recorder in [None, Some(ecl_obs::Recorder::new())] {
+            let tag = if recorder.is_some() {
+                "recording"
+            } else {
+                "plain"
+            };
+            let mut gpu = Gpu::new(profile.clone());
+            gpu.set_recorder(recorder);
+            let _ = ecl_cc::gpu::run(&mut gpu, &g, &EclConfig::default());
+            assert_eq!(project(gpu.l1_stats()), l1_want, "{name}/{tag}: L1 stats");
+            assert_eq!(project(gpu.l2_stats()), l2_want, "{name}/{tag}: L2 stats");
+        }
     }
 }
 
