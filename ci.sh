@@ -130,4 +130,19 @@ awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 0.85) }' \
     || { echo "parallel:4 fell behind serial beyond tolerance (speedup ${SPEEDUP}x < 0.85x)"; exit 1; }
 echo "    simspeed matrix written to BENCH_simspeed.json (parallel:4 speedup ${SPEEDUP}x on soc-LiveJournal1)"
 
+echo "==> serve: chaos + SIGKILL/resume smoke"
+# The TCP server under concurrent load, a seeded chaos wave (truncated
+# frames, stalls, disconnects, malformed/oversized lines), then a real
+# SIGKILL mid-write-load followed by --resume. The experiment exits
+# nonzero unless every acknowledged edge survives the kill, the drain is
+# clean, and the server logs contain zero panics; the grep pins the
+# greppable fields the acceptance gate names.
+./target/release/harness serve --scale tiny \
+    --json BENCH_serve.json > /dev/null
+grep -q '"resume_verified":true' BENCH_serve.json \
+    || { echo "serve: acked edges lost across SIGKILL/resume"; exit 1; }
+grep -q '"server_panics":0' BENCH_serve.json \
+    || { echo "serve: server panicked under chaos load"; exit 1; }
+echo "    serve survived chaos + SIGKILL; all acked edges recovered"
+
 echo "CI OK"

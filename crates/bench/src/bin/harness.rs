@@ -10,6 +10,9 @@
 //!   table5  table6  table7  table8  table9  table10  fig17
 //!   simspeed    (simulator wall-clock: serial vs host-parallel matrix)
 //!   micro       (simulator hot-path microbenchmarks)
+//!   serve       (TCP server load + chaos + SIGKILL/resume; writes
+//!                BENCH_serve.json or the --json path; --fault-plan
+//!                picks the chaos mix, default serve-chaos:1)
 //!   internals   (= fig7 fig8 table3 table4 fig9 fig10)
 //!   all         (everything)
 //! ```
@@ -37,6 +40,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut exec = ExecMode::Serial;
+    let mut fault_plan = ecl_gpu_sim::FaultPlan::serve_chaos(1);
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -82,6 +86,21 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--fault-plan" => {
+                fault_plan = match it.next() {
+                    Some(spec) => match ecl_gpu_sim::FaultPlan::parse(spec) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            eprintln!("--fault-plan: {e}");
+                            std::process::exit(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("--fault-plan needs a spec (e.g. serve-chaos:1)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--trace" => {
                 trace_path = it.next().cloned();
                 if trace_path.is_none() {
@@ -102,8 +121,9 @@ fn main() {
                 );
                 println!(
                     "             table7 table8 table9 table10 fig17 ordering simspeed micro \
-                     internals all"
+                     serve internals all"
                 );
+                println!("--fault-plan SPEC seeds the serve chaos mix (default serve-chaos:1)");
                 println!("--exec parallel[:N] runs GPU experiments host-parallel (0 = per core);");
                 println!("         timing tables should keep the default serial mode");
                 println!("--verify certifies every code's labels with the independent checker");
@@ -155,6 +175,7 @@ fn main() {
             "ordering" => vec!["ordering"],
             "batch" => vec!["batch"],
             "simspeed" => vec!["simspeed"],
+            "serve" => vec!["serve"],
             "micro" => vec!["micro"],
             other => {
                 eprintln!("unknown experiment '{other}' (see --help)");
@@ -170,6 +191,7 @@ fn main() {
     );
     let recorder = trace_path.as_ref().map(|_| ecl_obs::Recorder::new());
     let mut records: Vec<ecl_bench::report::BenchRecord> = Vec::new();
+    let mut json_consumed = false;
     for item in todo {
         let span_start = recorder.as_ref().map(|r| r.now_us());
         match item {
@@ -193,6 +215,14 @@ fn main() {
             "ordering" => exp::ordering(scale, &titan),
             "batch" => records.extend(exp::batch_throughput(t_big)),
             "micro" => records.extend(ecl_bench::microbench::hot_paths()),
+            "serve" => {
+                // Writes its own summary JSON (greppable pass/fail
+                // fields), so it consumes --json instead of feeding the
+                // shared BenchRecord report.
+                let path = json_path.as_deref().unwrap_or("BENCH_serve.json");
+                ecl_bench::serve_load::serve_load(scale, fault_plan, path);
+                json_consumed = true;
+            }
             "simspeed" => records.extend(exp::simspeed(
                 scale,
                 match exec {
@@ -233,10 +263,10 @@ fn main() {
     // `--verify` (or a bare `--json` with nothing else producing records)
     // runs the certification sweep; `--json` writes whatever records the
     // selected experiments produced.
-    if verify || (json_path.is_some() && records.is_empty()) {
+    if verify || (json_path.is_some() && records.is_empty() && !json_consumed) {
         records.extend(exp::verify_sweep(scale, t_big, &titan, exec));
     }
-    if (verify || json_path.is_some()) && !records.is_empty() {
+    if (verify || (json_path.is_some() && !json_consumed)) && !records.is_empty() {
         let path = json_path.unwrap_or_else(|| "bench-verify.json".to_string());
         let failed = records
             .iter()

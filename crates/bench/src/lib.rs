@@ -10,6 +10,7 @@ pub mod experiments;
 pub mod microbench;
 pub mod report;
 pub mod runners;
+pub mod serve_load;
 
 use ecl_graph::catalog::{PaperGraph, Scale};
 use ecl_graph::CsrGraph;

@@ -1,0 +1,492 @@
+//! Load generator + chaos harness for the `ecl-serve` server.
+//!
+//! Drives a real `ecl-cc serve` child process over TCP through three
+//! phases and writes a JSON summary (`BENCH_serve.json` by default):
+//!
+//! 1. **Measured load** — many concurrent well-behaved connections
+//!    mixing `ADD`/`CONN`/`COMP`/`STATS`/`PING`, recording per-request
+//!    latency (p50/p90/p99/max) and aggregate QPS.
+//! 2. **Chaos** — adversarial clients driven by the seeded
+//!    `serve-chaos` [`FaultPlan`] knobs: truncated frames, stalled
+//!    sockets, mid-stream disconnects, malformed and oversized lines.
+//!    The server must answer every well-formed probe afterwards.
+//! 3. **Kill + resume** — writers stream acknowledged edges while the
+//!    server is `SIGKILL`ed mid-load; a `--resume` restart must answer
+//!    `CONN u v -> OK true` for every edge a client was told `OK`
+//!    about. (Extra durable-but-unacknowledged edges are allowed — the
+//!    standard at-least-once envelope; exact-set equality at quiesced
+//!    kill points is covered by `tests/serve_recovery.rs`.)
+//!
+//! Both server incarnations' stderr/stdout go to log files which are
+//! scanned for `panic` — the zero-server-panics acceptance gate.
+
+use ecl_gpu_sim::{FaultPlan, FaultRng};
+use ecl_graph::catalog::Scale;
+use ecl_obs::json::Obj;
+use ecl_serve::Client;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct LoadShape {
+    vertices: usize,
+    measured_conns: usize,
+    ops_per_conn: usize,
+    chaos_conns: usize,
+    chaos_ops: usize,
+    kill_writers: usize,
+}
+
+fn shape(scale: Scale) -> LoadShape {
+    match scale {
+        Scale::Tiny => LoadShape {
+            vertices: 20_000,
+            measured_conns: 16,
+            ops_per_conn: 120,
+            chaos_conns: 12,
+            chaos_ops: 40,
+            kill_writers: 8,
+        },
+        Scale::Bench => LoadShape {
+            vertices: 200_000,
+            measured_conns: 200,
+            ops_per_conn: 250,
+            chaos_conns: 64,
+            chaos_ops: 60,
+            kill_writers: 24,
+        },
+        Scale::Large => LoadShape {
+            vertices: 1_000_000,
+            measured_conns: 400,
+            ops_per_conn: 400,
+            chaos_conns: 128,
+            chaos_ops: 80,
+            kill_writers: 48,
+        },
+    }
+}
+
+struct ServerHandle {
+    child: Child,
+    addr: String,
+    _stdout_drain: std::thread::JoinHandle<()>,
+}
+
+/// Spawns `ecl-cc serve`, parses the `listening on ADDR` line, and
+/// pipes the rest of its output to `log`.
+fn spawn_server(bin: &Path, dir: &Path, log: &Path, resume: bool, vertices: usize) -> ServerHandle {
+    let log_file = std::fs::File::create(log).expect("create server log");
+    let stderr_file = log_file.try_clone().expect("clone log handle");
+    let mut cmd = Command::new(bin);
+    cmd.arg("serve")
+        .arg("--dir")
+        .arg(dir)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--vertices")
+        .arg(vertices.to_string())
+        .arg("--max-conns")
+        .arg("2048")
+        .arg("--idle-timeout-ms")
+        .arg("5000")
+        .arg("--snapshot-every")
+        .arg("500")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::from(stderr_file));
+    if resume {
+        cmd.arg("--resume");
+    }
+    let mut child = cmd.spawn().expect("spawn ecl-cc serve");
+    let mut reader = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected server banner: {line:?}"))
+        .to_string();
+    // Drain the remaining stdout into the log so the pipe never fills.
+    let mut log_file = log_file;
+    let drain = std::thread::spawn(move || {
+        let mut buf = [0u8; 4096];
+        while let Ok(n) = reader.read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+            let _ = log_file.write_all(&buf[..n]);
+        }
+    });
+    ServerHandle {
+        child,
+        addr,
+        _stdout_drain: drain,
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn count_panics_in_log(path: &Path) -> u64 {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text
+            .lines()
+            .filter(|l| l.contains("panicked at") || l.contains("thread panicked"))
+            .count() as u64,
+        Err(_) => 0,
+    }
+}
+
+/// Phase 1: well-behaved measured load. Returns (latencies_ms,
+/// acked_edges, protocol_errors, elapsed).
+#[allow(clippy::type_complexity)]
+fn measured_load(
+    addr: &str,
+    shp: &LoadShape,
+    seed: u64,
+) -> (Vec<f64>, Vec<(u32, u32)>, u64, Duration) {
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let acked: Arc<Mutex<Vec<(u32, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+    let errors = Arc::new(Mutex::new(0u64));
+    let start = Instant::now();
+    let threads: Vec<_> = (0..shp.measured_conns)
+        .map(|t| {
+            let addr = addr.to_string();
+            let latencies = Arc::clone(&latencies);
+            let acked = Arc::clone(&acked);
+            let errors = Arc::clone(&errors);
+            let n = shp.vertices as u32;
+            let ops = shp.ops_per_conn;
+            std::thread::spawn(move || {
+                let mut rng = FaultRng::new(seed, t as u64);
+                let Ok(mut c) = Client::connect(&addr) else {
+                    *errors.lock().unwrap() += ops as u64;
+                    return;
+                };
+                if !c.accepted() {
+                    *errors.lock().unwrap() += ops as u64;
+                    return;
+                }
+                let mut local_lat = Vec::with_capacity(ops);
+                let mut local_acked = Vec::new();
+                for _ in 0..ops {
+                    let u = rng.below(n as u64) as u32;
+                    let v = rng.below(n as u64) as u32;
+                    let roll = rng.below(100);
+                    let req = match roll {
+                        0..=39 => format!("ADD {u} {v}"),
+                        40..=69 => format!("CONN {u} {v}"),
+                        70..=84 => format!("COMP {u}"),
+                        85..=94 => "STATS".to_string(),
+                        _ => "PING".to_string(),
+                    };
+                    let t0 = Instant::now();
+                    match c.request(&req) {
+                        Ok(resp) => {
+                            local_lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                            if resp.starts_with("OK") {
+                                if roll <= 39 {
+                                    local_acked.push((u, v));
+                                }
+                            } else {
+                                *errors.lock().unwrap() += 1;
+                            }
+                        }
+                        Err(_) => {
+                            *errors.lock().unwrap() += 1;
+                            return;
+                        }
+                    }
+                }
+                let _ = c.request("QUIT");
+                latencies.lock().unwrap().extend(local_lat);
+                acked.lock().unwrap().extend(local_acked);
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+    let elapsed = start.elapsed();
+    let lat = Arc::try_unwrap(latencies).unwrap().into_inner().unwrap();
+    let ack = Arc::try_unwrap(acked).unwrap().into_inner().unwrap();
+    let errs = *errors.lock().unwrap();
+    (lat, ack, errs, elapsed)
+}
+
+/// Phase 2: seeded chaos clients. Returns the number of structured ERR
+/// responses observed (expected to be > 0 — that's the point).
+fn chaos_wave(addr: &str, shp: &LoadShape, plan: FaultPlan) -> u64 {
+    let errs = Arc::new(Mutex::new(0u64));
+    let threads: Vec<_> = (0..shp.chaos_conns)
+        .map(|t| {
+            let addr = addr.to_string();
+            let errs = Arc::clone(&errs);
+            let ops = shp.chaos_ops;
+            let n = shp.vertices as u32;
+            std::thread::spawn(move || {
+                let mut rng = FaultRng::new(plan.seed, 0xc0a0 ^ t as u64);
+                let Ok(mut c) = Client::connect(&addr) else {
+                    return;
+                };
+                for _ in 0..ops {
+                    if plan.disconnect_permille > 0 && rng.chance(plan.disconnect_permille) {
+                        // Abrupt mid-stream disconnect; reconnect after.
+                        let _ = c.send_raw(b"ADD 1");
+                        drop(c);
+                        match Client::connect(&addr) {
+                            Ok(nc) => c = nc,
+                            Err(_) => return,
+                        }
+                        continue;
+                    }
+                    if plan.frame_truncate_permille > 0 && rng.chance(plan.frame_truncate_permille)
+                    {
+                        // Half-written frame... finished later with
+                        // garbage: the server must answer ERR, not die.
+                        if c.send_raw(b"ADD 3").is_err() {
+                            return;
+                        }
+                        if plan.stall_permille > 0 && rng.chance(plan.stall_permille) {
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
+                        if c.send_raw(b"x 9\n").is_err() {
+                            return;
+                        }
+                        match c.read_line() {
+                            Ok(resp) if resp.starts_with("ERR") => *errs.lock().unwrap() += 1,
+                            Ok(_) => {}
+                            Err(_) => return,
+                        }
+                        continue;
+                    }
+                    // Malformed / oversized / valid mix.
+                    let req = match rng.below(5) {
+                        0 => "FROB 1 2".to_string(),
+                        1 => format!("ADD {} {}", u64::from(n) * 2, 0),
+                        2 => format!("ADD {}", "9".repeat(1500)),
+                        3 => format!("CONN {} {}", rng.below(n as u64), rng.below(n as u64)),
+                        _ => format!("ADD {} {}", rng.below(n as u64), rng.below(n as u64)),
+                    };
+                    match c.request(&req) {
+                        Ok(resp) if resp.starts_with("ERR") => *errs.lock().unwrap() += 1,
+                        Ok(_) => {}
+                        Err(_) => return,
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+    let count = *errs.lock().unwrap();
+    count
+}
+
+/// Phase 3: writers stream edges until the server dies under them.
+/// Returns every edge that was acknowledged before the kill.
+fn kill_load(addr: &str, shp: &LoadShape, seed: u64, server: &mut Child) -> Vec<(u32, u32)> {
+    let acked: Arc<Mutex<Vec<(u32, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+    let threads: Vec<_> = (0..shp.kill_writers)
+        .map(|t| {
+            let addr = addr.to_string();
+            let acked = Arc::clone(&acked);
+            let n = shp.vertices as u32;
+            std::thread::spawn(move || {
+                let mut rng = FaultRng::new(seed ^ 0xdead, t as u64);
+                let Ok(mut c) = Client::connect(&addr) else {
+                    return;
+                };
+                let mut local = Vec::new();
+                loop {
+                    let u = rng.below(n as u64) as u32;
+                    let v = rng.below(n as u64) as u32;
+                    match c.request(&format!("ADD {u} {v}")) {
+                        Ok(resp) if resp.starts_with("OK") => local.push((u, v)),
+                        Ok(_) => {}
+                        // Server killed: stop, keep what was acked.
+                        Err(_) => break,
+                    }
+                }
+                acked.lock().unwrap().extend(local);
+            })
+        })
+        .collect();
+    // Let the writers build up momentum, then SIGKILL mid-load.
+    std::thread::sleep(Duration::from_millis(1500));
+    let _ = server.kill();
+    let _ = server.wait();
+    for t in threads {
+        let _ = t.join();
+    }
+    Arc::try_unwrap(acked).unwrap().into_inner().unwrap()
+}
+
+/// Verifies every acknowledged edge on a (resumed) server. Returns the
+/// number of failures (0 = all recovered).
+fn verify_acked(addr: &str, acked: &[(u32, u32)]) -> u64 {
+    let mut failures = 0u64;
+    let mut c = match Client::connect(addr) {
+        Ok(c) if c.accepted() => c,
+        _ => return acked.len() as u64,
+    };
+    for &(u, v) in acked {
+        match c.request(&format!("CONN {u} {v}")) {
+            Ok(resp) if resp == "OK true" => {}
+            _ => failures += 1,
+        }
+    }
+    failures
+}
+
+/// Runs the whole experiment and writes the summary JSON. Exits
+/// nonzero on infrastructure failure; verification results land in the
+/// JSON (CI greps them).
+pub fn serve_load(scale: Scale, plan: FaultPlan, json_path: &str) {
+    let shp = shape(scale);
+    let bin = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe dir")
+        .join(format!("ecl-cc{}", std::env::consts::EXE_SUFFIX));
+    if !bin.exists() {
+        eprintln!(
+            "serve: {} not found — build the workspace first (cargo build --release)",
+            bin.display()
+        );
+        std::process::exit(1);
+    }
+    let dir: PathBuf = std::env::temp_dir().join(format!("ecl_serve_load_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create harness dir");
+    let state_dir = dir.join("state");
+    let log1 = dir.join("server-1.log");
+    let log2 = dir.join("server-2.log");
+
+    println!("\n### serve: load + chaos + kill/resume (scale {scale:?})\n");
+    println!(
+        "fault plan: seed={} truncate={} stall={} disc={} (permille)",
+        plan.seed, plan.frame_truncate_permille, plan.stall_permille, plan.disconnect_permille
+    );
+
+    let mut server = spawn_server(&bin, &state_dir, &log1, false, shp.vertices);
+    println!(
+        "server 1 up at {} (state in {})",
+        server.addr,
+        state_dir.display()
+    );
+
+    // Phase 1: measured load.
+    let (mut lat, mut all_acked, proto_errors, elapsed) =
+        measured_load(&server.addr, &shp, plan.seed);
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let qps = lat.len() as f64 / elapsed.as_secs_f64();
+    let (p50, p90, p99, pmax) = (
+        percentile(&lat, 50.0),
+        percentile(&lat, 90.0),
+        percentile(&lat, 99.0),
+        lat.last().copied().unwrap_or(f64::NAN),
+    );
+    println!(
+        "measured: {} conns x {} ops -> {} responses, {qps:.0} req/s, \
+         p50 {p50:.3} ms, p90 {p90:.3} ms, p99 {p99:.3} ms, max {pmax:.3} ms, \
+         {proto_errors} transport/protocol errors",
+        shp.measured_conns,
+        shp.ops_per_conn,
+        lat.len(),
+    );
+
+    // Phase 2: chaos wave, then prove the server still answers.
+    let chaos_errs = chaos_wave(&server.addr, &shp, plan);
+    let alive = Client::connect(&server.addr)
+        .ok()
+        .filter(|c| c.accepted())
+        .map(|mut c| c.request("PING").ok() == Some("OK pong".to_string()))
+        .unwrap_or(false);
+    println!(
+        "chaos: {} clients x {} ops, {chaos_errs} structured ERR replies, \
+         server alive after: {alive}",
+        shp.chaos_conns, shp.chaos_ops
+    );
+
+    // Phase 3: SIGKILL mid-load, resume, verify every acked edge.
+    let killed_acked = kill_load(&server.addr, &shp, plan.seed, &mut server.child);
+    println!(
+        "killed server mid-load: {} edges acked by writers before the kill",
+        killed_acked.len()
+    );
+    all_acked.extend(killed_acked);
+
+    let resumed = spawn_server(&bin, &state_dir, &log2, true, shp.vertices);
+    println!("server 2 resumed at {}", resumed.addr);
+    let resume_failures = verify_acked(&resumed.addr, &all_acked);
+    let resume_verified = resume_failures == 0 && alive;
+    println!(
+        "resume verification: {} acked edges checked, {resume_failures} missing",
+        all_acked.len()
+    );
+
+    // Graceful drain of the resumed server; it must exit 0.
+    let clean_exit = match Client::connect(&resumed.addr) {
+        Ok(mut c) if c.accepted() => {
+            let _ = c.request("SHUTDOWN");
+            let mut child = resumed.child;
+            let mut waited = 0u64;
+            loop {
+                match child.try_wait() {
+                    Ok(Some(status)) => break status.success(),
+                    Ok(None) if waited < 30_000 => {
+                        std::thread::sleep(Duration::from_millis(100));
+                        waited += 100;
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        break false;
+                    }
+                }
+            }
+        }
+        _ => false,
+    };
+    let server_panics = count_panics_in_log(&log1) + count_panics_in_log(&log2);
+    println!("clean drain: {clean_exit}, server panics in logs: {server_panics}");
+
+    let json = Obj::new()
+        .str("experiment", "serve")
+        .str("scale", &format!("{scale:?}").to_lowercase())
+        .u64("vertices", shp.vertices as u64)
+        .u64("measured_conns", shp.measured_conns as u64)
+        .u64("ops_per_conn", shp.ops_per_conn as u64)
+        .u64("responses", lat.len() as u64)
+        .f64("qps", qps)
+        .f64("p50_ms", p50)
+        .f64("p90_ms", p90)
+        .f64("p99_ms", p99)
+        .f64("max_ms", pmax)
+        .u64("protocol_errors", proto_errors)
+        .u64("chaos_conns", shp.chaos_conns as u64)
+        .u64("chaos_err_replies", chaos_errs)
+        .bool("alive_after_chaos", alive)
+        .u64("acked_edges", all_acked.len() as u64)
+        .u64("resume_failures", resume_failures)
+        .bool("resume_verified", resume_verified)
+        .bool("clean_drain", clean_exit)
+        .u64("server_panics", server_panics)
+        .u64("fault_seed", plan.seed)
+        .build();
+    std::fs::write(json_path, format!("{json}\n")).expect("write serve summary");
+    println!("\nwrote serve summary to {json_path}");
+
+    if !resume_verified || server_panics > 0 || !clean_exit {
+        eprintln!("serve: FAILED (resume_verified={resume_verified}, panics={server_panics}, clean_drain={clean_exit})");
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -44,6 +44,17 @@ commands:
       are split between batch workers and per-device SM threads);
       --trace FILE writes a Chrome trace (job, ladder, kernel spans,
       breaker transitions, queue depth)
+  serve --dir DIR [--addr HOST:PORT] [--vertices N] [--resume]
+        [--max-conns N] [--idle-timeout-ms MS] [--snapshot-every N]
+        [--workers N] [--queue N] [--deadline-ms MS] [--metrics FILE]
+      run the connectivity-as-a-service TCP server (ECL/1 line protocol:
+      ADD/CONN/COMP/STATS/METRICS/SUBMIT/JOB/PING/QUIT/SHUTDOWN); every
+      acknowledged ADD is fsync'd to a write-ahead log in --dir before
+      the OK, with periodic digest-pinned snapshots, so a SIGKILL'd
+      server restarts with --resume to the exact acknowledged edge set;
+      prints `listening on ADDR` once bound (use port 0 for ephemeral);
+      SUBMIT routes batch jobs onto the engine's bounded queue with
+      circuit breakers and certified fallback
   profile [FILE] [--graph NAME]... [--device titan-x|k40] [--scale S]
           [--sim-workers N] [--trace FILE] [--metrics FILE] [--report]
           [--validate]
@@ -349,6 +360,56 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             if !report.is_complete() {
                 return Err(format!("{} job(s) failed; see report", report.failed()));
             }
+            Ok(())
+        }
+        "serve" => {
+            let dir = flag(args, "--dir").ok_or("serve needs --dir <state-dir>")?;
+            let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
+                flag(args, name)
+                    .map(|v| v.parse().map_err(|e| format!("{name}: {e}")))
+                    .transpose()
+            };
+            let mut cfg = ecl_serve::ServeConfig {
+                dir: PathBuf::from(dir),
+                resume: args.iter().any(|a| a == "--resume"),
+                ..ecl_serve::ServeConfig::default()
+            };
+            if let Some(a) = flag(args, "--addr") {
+                cfg.addr = a;
+            }
+            if let Some(n) = parse_u64("--vertices")? {
+                cfg.vertices = n as usize;
+            }
+            if let Some(n) = parse_u64("--max-conns")? {
+                cfg.max_conns = n.max(1) as usize;
+            }
+            if let Some(ms) = parse_u64("--idle-timeout-ms")? {
+                cfg.idle_timeout_ms = ms.max(1);
+            }
+            if let Some(n) = parse_u64("--snapshot-every")? {
+                cfg.snapshot_every = n;
+            }
+            if let Some(w) = parse_u64("--workers")? {
+                cfg.jobs.workers = w.max(1) as usize;
+            }
+            if let Some(q) = parse_u64("--queue")? {
+                cfg.jobs.queue_capacity = q.max(1) as usize;
+            }
+            cfg.jobs.deadline_ms = parse_u64("--deadline-ms")?;
+            cfg.jobs.ladder.threads = threads;
+            cfg.jobs.ladder.exec = sim_exec;
+            if let Some(m) = flag(args, "--metrics") {
+                cfg.metrics_path = Some(PathBuf::from(m));
+                cfg.recorder = Recorder::new();
+            }
+            let server = ecl_serve::Server::start(cfg)?;
+            // The harness (and ci.sh) parse this line for the ephemeral
+            // port, so it goes to stdout and is flushed immediately.
+            println!("listening on {}", server.local_addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            server.join()?;
+            eprintln!("serve: drained cleanly");
             Ok(())
         }
         "profile" => ecl_cc_cli::profile::run_profile(args),

@@ -67,6 +67,16 @@ pub enum EclError {
         /// The queue's configured capacity.
         capacity: usize,
     },
+    /// A vertex ID from untrusted input is outside the structure's
+    /// vertex range (`vertex >= len`). Surfaced by the fallible
+    /// [`IncrementalCc`](crate::incremental::IncrementalCc) API so a
+    /// network server can reject a bad request instead of panicking.
+    InvalidVertex {
+        /// The offending vertex ID.
+        vertex: u32,
+        /// The number of vertices the structure tracks.
+        len: usize,
+    },
 }
 
 impl EclError {
@@ -103,6 +113,7 @@ impl EclError {
             EclError::Timeout { .. } => "timeout",
             EclError::CircuitOpen { .. } => "circuit-open",
             EclError::QueueFull { .. } => "queue-full",
+            EclError::InvalidVertex { .. } => "invalid-vertex",
         }
     }
 }
@@ -145,6 +156,12 @@ impl fmt::Display for EclError {
                 write!(
                     f,
                     "job queue full (capacity {capacity}); submission rejected"
+                )
+            }
+            EclError::InvalidVertex { vertex, len } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range (structure tracks {len} vertices)"
                 )
             }
         }
@@ -227,5 +244,9 @@ mod tests {
         assert!(c.to_string().contains("gpu-sim"));
         let q = EclError::QueueFull { capacity: 8 };
         assert!(q.to_string().contains("capacity 8"));
+        let v = EclError::InvalidVertex { vertex: 9, len: 5 };
+        assert_eq!(v.kind(), "invalid-vertex");
+        assert!(v.to_string().contains("vertex 9"));
+        assert!(v.to_string().contains("5 vertices"));
     }
 }

@@ -8,6 +8,7 @@
 //! the batch codes the paper compares against support. This module
 //! packages that capability.
 
+use crate::error::EclError;
 use crate::result::CcResult;
 use ecl_graph::Vertex;
 use ecl_unionfind::AtomicParents;
@@ -44,6 +45,30 @@ impl IncrementalCc {
             parents: AtomicParents::new(n),
             links: AtomicU64::new(0),
         }
+    }
+
+    /// Rebuilds a structure from a previously captured parent array (the
+    /// crash-safe snapshot path). Every entry must satisfy
+    /// `parents[v] <= v` — the strictly-decreasing-chain invariant the
+    /// hooking discipline maintains, which every traversal relies on for
+    /// termination. The link count is recomputed from the root count, so
+    /// [`num_components`](Self::num_components) is immediately exact.
+    pub fn from_parents(parents: Vec<Vertex>) -> Result<Self, EclError> {
+        let n = parents.len();
+        for (v, &p) in parents.iter().enumerate() {
+            if p as usize > v {
+                return Err(EclError::InvalidVertex { vertex: p, len: n });
+            }
+        }
+        let roots = parents
+            .iter()
+            .enumerate()
+            .filter(|&(v, &p)| p as usize == v)
+            .count();
+        Ok(IncrementalCc {
+            parents: AtomicParents::from_vec(parents),
+            links: AtomicU64::new((n - roots) as u64),
+        })
     }
 
     /// Number of vertices.
@@ -99,10 +124,55 @@ impl IncrementalCc {
         self.parents.find_repres(v)
     }
 
+    /// Fallible [`add_edge`](Self::add_edge) for untrusted input: vertex
+    /// IDs are validated against the structure's range before any index,
+    /// so a bad request yields [`EclError::InvalidVertex`] instead of a
+    /// panic. Internal callers with known-good IDs keep the infallible
+    /// API.
+    pub fn try_add_edge(&self, u: Vertex, v: Vertex) -> Result<bool, EclError> {
+        self.check(u)?;
+        self.check(v)?;
+        Ok(self.add_edge(u, v))
+    }
+
+    /// Fallible [`connected`](Self::connected) for untrusted input.
+    pub fn try_connected(&self, u: Vertex, v: Vertex) -> Result<bool, EclError> {
+        self.check(u)?;
+        self.check(v)?;
+        Ok(self.connected(u, v))
+    }
+
+    /// Fallible [`component`](Self::component) for untrusted input.
+    pub fn try_component(&self, v: Vertex) -> Result<Vertex, EclError> {
+        self.check(v)?;
+        Ok(self.component(v))
+    }
+
+    #[inline]
+    fn check(&self, v: Vertex) -> Result<(), EclError> {
+        if (v as usize) < self.len() {
+            Ok(())
+        } else {
+            Err(EclError::InvalidVertex {
+                vertex: v,
+                len: self.len(),
+            })
+        }
+    }
+
     /// Current number of components (`n - successful links`). Exact when
     /// no insertions are in flight; otherwise a linearizable snapshot.
     pub fn num_components(&self) -> usize {
         self.len() - self.links.load(Ordering::Relaxed) as usize
+    }
+
+    /// A racy copy of the current parent array. Each entry is a valid
+    /// parent pointer (any value ever stored keeps its path to the
+    /// representative), so the copy is always a well-formed forest even
+    /// while insertions are in flight — the property the crash-safe
+    /// snapshot path in `ecl-serve` relies on.
+    pub fn parents_snapshot(&self) -> Vec<Vertex> {
+        self.parents.snapshot()
     }
 
     /// Freezes the structure into a final labeling (flattens every path).
@@ -198,5 +268,48 @@ mod tests {
         assert!(cc.is_empty());
         assert_eq!(cc.num_components(), 0);
         assert!(cc.finish().labels.is_empty());
+    }
+
+    #[test]
+    fn try_api_rejects_out_of_range_vertices() {
+        let cc = IncrementalCc::new(4);
+        for bad in [
+            cc.try_add_edge(0, 4),
+            cc.try_add_edge(4, 0),
+            cc.try_connected(9, 1),
+            cc.try_connected(1, 9),
+            cc.try_component(4).map(|_| false),
+        ] {
+            match bad {
+                Err(EclError::InvalidVertex { len: 4, .. }) => {}
+                other => panic!("expected InvalidVertex, got {other:?}"),
+            }
+        }
+        // Nothing was mutated by the rejected calls.
+        assert_eq!(cc.num_components(), 4);
+        // In-range requests behave exactly like the infallible API.
+        assert!(cc.try_add_edge(0, 1).unwrap());
+        assert!(!cc.try_add_edge(1, 0).unwrap());
+        assert!(cc.try_connected(0, 1).unwrap());
+        assert_eq!(cc.try_component(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn from_parents_roundtrips_and_validates() {
+        let cc = IncrementalCc::new(6);
+        cc.add_edge(0, 1);
+        cc.add_edge(2, 3);
+        cc.add_edge(1, 2);
+        let snap = cc.parents_snapshot();
+        let restored = IncrementalCc::from_parents(snap).unwrap();
+        assert_eq!(restored.num_components(), cc.num_components());
+        assert!(restored.connected(0, 3));
+        assert!(!restored.connected(0, 4));
+        // An upward-pointing parent breaks the decreasing-chain
+        // invariant and must be refused.
+        match IncrementalCc::from_parents(vec![0, 2, 2]) {
+            Err(EclError::InvalidVertex { vertex: 2, len: 3 }) => {}
+            other => panic!("expected InvalidVertex, got {other:?}"),
+        }
     }
 }

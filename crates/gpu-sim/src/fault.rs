@@ -43,6 +43,19 @@ pub struct FaultPlan {
     /// Execute warps (and blocks) in a seeded shuffled order instead of
     /// index order.
     pub shuffle_warps: bool,
+    /// Per-mille probability (0..=1000) that a chaos client truncates a
+    /// protocol frame mid-write. Network-flavored knob: ignored by the
+    /// simulator, consumed by the `ecl-serve` load harness so its chaos
+    /// mix is seeded and replayable like the simulator presets.
+    pub frame_truncate_permille: u32,
+    /// Per-mille probability (0..=1000) that a chaos client stalls its
+    /// socket (half-written frame held open). Network-flavored; ignored
+    /// by the simulator.
+    pub stall_permille: u32,
+    /// Per-mille probability (0..=1000) that a chaos client disconnects
+    /// mid-stream without a clean `QUIT`. Network-flavored; ignored by
+    /// the simulator.
+    pub disconnect_permille: u32,
 }
 
 impl FaultPlan {
@@ -54,6 +67,9 @@ impl FaultPlan {
             mem_delay_permille: 0,
             mem_delay_cycles: 0,
             shuffle_warps: false,
+            frame_truncate_permille: 0,
+            stall_permille: 0,
+            disconnect_permille: 0,
         }
     }
 
@@ -94,13 +110,37 @@ impl FaultPlan {
             mem_delay_permille: 150,
             mem_delay_cycles: 120,
             shuffle_warps: true,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// The network chaos mix the `ecl-serve` load harness drives its
+    /// adversarial clients with: truncated frames, stalled sockets, and
+    /// mid-stream disconnects, all seeded for reproducibility. Injects
+    /// nothing into the simulator.
+    pub const fn serve_chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            frame_truncate_permille: 250,
+            stall_permille: 150,
+            disconnect_permille: 200,
+            ..FaultPlan::none()
         }
     }
 
     /// True when the plan injects nothing (the fast path skips all RNG
     /// work entirely).
     pub fn is_none(&self) -> bool {
-        self.cas_spurious_permille == 0 && self.mem_delay_permille == 0 && !self.shuffle_warps
+        self.cas_spurious_permille == 0
+            && self.mem_delay_permille == 0
+            && !self.shuffle_warps
+            && !self.has_network_faults()
+    }
+
+    /// True when any network-flavored knob is set (the serve harness's
+    /// chaos classes; the simulator ignores them).
+    pub fn has_network_faults(&self) -> bool {
+        self.frame_truncate_permille > 0 || self.stall_permille > 0 || self.disconnect_permille > 0
     }
 
     /// Parses a command-line fault-plan spec so chaos runs are
@@ -108,8 +148,10 @@ impl FaultPlan {
     ///
     /// Named presets, optionally seeded: `none`, `cas-storm[:SEED]`,
     /// `slow-memory[:SEED]`, `scheduler-chaos[:SEED]`,
-    /// `everything[:SEED]`. Custom plans are comma-separated fields:
-    /// `seed=N`, `cas=PERMILLE`, `mem=PERMILLE/CYCLES`, `shuffle` —
+    /// `everything[:SEED]`, `serve-chaos[:SEED]` (network-flavored, for
+    /// the serve load harness). Custom plans are comma-separated fields:
+    /// `seed=N`, `cas=PERMILLE`, `mem=PERMILLE/CYCLES`, `shuffle`,
+    /// `truncate=PERMILLE`, `stall=PERMILLE`, `disc=PERMILLE` —
     /// e.g. `seed=42,cas=300,mem=250/200,shuffle`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let spec = spec.trim();
@@ -126,6 +168,7 @@ impl FaultPlan {
             "slow-memory" => Some(FaultPlan::slow_memory),
             "scheduler-chaos" => Some(FaultPlan::scheduler_chaos),
             "everything" => Some(FaultPlan::everything),
+            "serve-chaos" => Some(FaultPlan::serve_chaos),
             _ => None,
         };
         if let Some(make) = preset {
@@ -174,6 +217,15 @@ impl FaultPlan {
                         return Err(format!("mem permille {p} out of range (0..=1000)"));
                     }
                 }
+                Some(("truncate", v)) => {
+                    plan.frame_truncate_permille = parse_permille("truncate", v)?;
+                }
+                Some(("stall", v)) => {
+                    plan.stall_permille = parse_permille("stall", v)?;
+                }
+                Some(("disc", v)) => {
+                    plan.disconnect_permille = parse_permille("disc", v)?;
+                }
                 Some((k, _)) => return Err(format!("unknown fault-plan field '{k}'")),
             }
         }
@@ -185,6 +237,17 @@ impl Default for FaultPlan {
     fn default() -> Self {
         FaultPlan::none()
     }
+}
+
+/// Shared permille-field parser for the custom-spec path.
+fn parse_permille(field: &str, v: &str) -> Result<u32, String> {
+    let p: u32 = v
+        .parse()
+        .map_err(|e| format!("bad {field} permille '{v}': {e}"))?;
+    if p > 1000 {
+        return Err(format!("{field} permille {v} out of range (0..=1000)"));
+    }
+    Ok(p)
 }
 
 /// SplitMix64 — a tiny full-period generator for injection decisions.
@@ -255,6 +318,13 @@ mod tests {
         assert!(!FaultPlan::slow_memory(1).is_none());
         assert!(!FaultPlan::scheduler_chaos(1).is_none());
         assert!(!FaultPlan::everything(1).is_none());
+        // serve-chaos injects nothing into the simulator but is not the
+        // do-nothing plan: the network knobs count toward noneness.
+        let serve = FaultPlan::serve_chaos(1);
+        assert!(!serve.is_none());
+        assert!(serve.has_network_faults());
+        assert_eq!(serve.cas_spurious_permille, 0);
+        assert!(!FaultPlan::everything(1).has_network_faults());
     }
 
     #[test]
@@ -273,6 +343,10 @@ mod tests {
             FaultPlan::parse("slow-memory").unwrap(),
             FaultPlan::slow_memory(1)
         );
+        assert_eq!(
+            FaultPlan::parse("serve-chaos:7").unwrap(),
+            FaultPlan::serve_chaos(7)
+        );
         let custom = FaultPlan::parse("seed=42,cas=300,mem=250/200,shuffle").unwrap();
         assert_eq!(
             custom,
@@ -282,12 +356,26 @@ mod tests {
                 mem_delay_permille: 250,
                 mem_delay_cycles: 200,
                 shuffle_warps: true,
+                ..FaultPlan::none()
+            }
+        );
+        let network = FaultPlan::parse("seed=3,truncate=100,stall=50,disc=75").unwrap();
+        assert_eq!(
+            network,
+            FaultPlan {
+                seed: 3,
+                frame_truncate_permille: 100,
+                stall_permille: 50,
+                disconnect_permille: 75,
+                ..FaultPlan::none()
             }
         );
         assert!(FaultPlan::parse("").is_err());
         assert!(FaultPlan::parse("cas-storm:abc").is_err());
         assert!(FaultPlan::parse("cas=1500").is_err());
         assert!(FaultPlan::parse("mem=250").is_err());
+        assert!(FaultPlan::parse("truncate=1500").is_err());
+        assert!(FaultPlan::parse("stall=oops").is_err());
         assert!(FaultPlan::parse("bogus").is_err());
     }
 

@@ -1,0 +1,72 @@
+//! A small blocking `ECL/1` client.
+//!
+//! Used by the load harness, the CI smoke gate, and the integration
+//! tests. Besides the well-behaved request/response path it exposes the
+//! raw socket, because the chaos side of the harness needs to *misuse*
+//! the protocol on purpose: half-written frames, stalls, and abrupt
+//! disconnects.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A connected client session.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// The server's greeting line (`ECL/1 OK vertices=N`, or `BUSY ...`).
+    pub greeting: String,
+}
+
+impl Client {
+    /// Connects and reads the greeting. A `BUSY` greeting still yields
+    /// a `Client` (callers inspect [`Client::greeting`]); only
+    /// transport errors fail.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut c = Client {
+            stream,
+            reader,
+            greeting: String::new(),
+        };
+        c.greeting = c.read_line()?;
+        Ok(c)
+    }
+
+    /// True when the server accepted the session.
+    pub fn accepted(&self) -> bool {
+        self.greeting.starts_with("ECL/1 OK")
+    }
+
+    /// Sends one request line and reads the one-line response.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.read_line()
+    }
+
+    /// Writes raw bytes without a newline — the chaos-client primitive
+    /// for truncated frames.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads one response line (trailing newline stripped). An EOF is
+    /// reported as `UnexpectedEof` so chaos callers can distinguish a
+    /// dropped connection from an empty response.
+    pub fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+}

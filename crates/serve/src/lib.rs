@@ -1,0 +1,39 @@
+//! Connectivity-as-a-service over the streaming ECL-CC structure.
+//!
+//! The paper's computation phase is fully asynchronous, which makes its
+//! lock-free union-find a natural *online* service: edges arrive over
+//! the network from many untrusted clients, connectivity queries
+//! interleave freely, and batch CC jobs ride the same engine machinery
+//! the CLI uses. This crate is the server side of that story — the
+//! ROADMAP's "heavy traffic from millions of users" north star demands
+//! a process that stays up, stays bounded, and survives `SIGKILL`
+//! without losing an acknowledged byte.
+//!
+//! * [`protocol`] — the versioned line-delimited `ECL/1` wire format
+//!   and its strict, panic-free parser.
+//! * [`wal`] — group-committed fsync'd write-ahead log; the
+//!   acknowledgement point for every `ADD`.
+//! * [`state`] — `IncrementalCc` + WAL + digest-pinned snapshots, and
+//!   the consistency argument for kill/resume.
+//! * [`jobs`] — `SUBMIT` routed onto the engine's bounded queue,
+//!   circuit breakers, backoff, and certified fallback ladder.
+//! * [`server`] — accept loop, per-session panic containment, idle
+//!   reaping, `BUSY` admission control, graceful drain.
+//! * [`client`] — a small blocking client for harnesses and tests,
+//!   including the raw hooks chaos clients need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod jobs;
+pub mod protocol;
+pub mod server;
+pub mod state;
+pub mod wal;
+
+pub use client::Client;
+pub use jobs::{JobRunner, JobStatus, JobsConfig};
+pub use protocol::{parse_request, Request, RequestError, MAX_LINE_BYTES, PROTOCOL_VERSION};
+pub use server::{ServeConfig, Server};
+pub use state::{ServeState, Stats};

@@ -1,0 +1,231 @@
+//! The `ECL/1` wire protocol.
+//!
+//! Line-delimited, human-debuggable (`nc` is a valid client), and
+//! versioned: the server greets every accepted connection with
+//! `ECL/1 OK vertices=N` so clients can bail out on a version or
+//! capacity mismatch before sending anything. Requests are one line
+//! each; responses are one line each, starting with `OK`, `ERR
+//! <kind> <detail>`, or (only as a greeting) `BUSY <kind> <detail>`.
+//!
+//! Parsing is strict by design — the server faces untrusted peers, so
+//! every malformed frame must map to a structured [`RequestError`]
+//! rather than a panic or a silently-misread command. The same error
+//! type carries execution-side failures (out-of-range vertices, queue
+//! rejections, I/O trouble) so a session renders every failure the same
+//! way.
+
+use std::fmt;
+
+/// Protocol version token sent in the greeting.
+pub const PROTOCOL_VERSION: &str = "ECL/1";
+
+/// Hard cap on a request line, greeting included (bytes, excluding the
+/// newline). Anything longer is discarded to the next newline and
+/// answered with `ERR too-long` — a peer cannot make the server buffer
+/// unbounded garbage.
+pub const MAX_LINE_BYTES: usize = 1024;
+
+/// One parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `ADD u v` — ingest the undirected edge `{u, v}`.
+    Add(u32, u32),
+    /// `CONN u v` — are `u` and `v` currently connected?
+    Conn(u32, u32),
+    /// `COMP v` — current component representative of `v`.
+    Comp(u32),
+    /// `STATS` — connectivity stats (vertices/edges/components); pure
+    /// function of the acknowledged edge set, so it compares equal
+    /// across a kill + resume.
+    Stats,
+    /// `METRICS` — operational counters (sessions, rejects, malformed
+    /// frames); deliberately separate from `STATS` because they do
+    /// *not* survive a restart.
+    Metrics,
+    /// `SUBMIT name spec` — queue a batch CC job (e.g. `SUBMIT ring
+    /// cycle:5000`) onto the engine-backed worker pool.
+    Submit {
+        /// Operator-chosen job label.
+        name: String,
+        /// Graph spec in [`ecl_engine::GraphSpec`] syntax.
+        spec: String,
+    },
+    /// `JOB id` — poll a submitted job's status.
+    Job(u64),
+    /// `PING` — liveness check.
+    Ping,
+    /// `QUIT` — close this session cleanly.
+    Quit,
+    /// `SHUTDOWN` — ask the server to drain gracefully.
+    Shutdown,
+}
+
+/// A structured request failure: a stable machine-readable `kind` plus
+/// a human-readable detail. Rendered on the wire as `ERR <kind>
+/// <detail>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestError {
+    /// Stable kind tag (`bad-command`, `invalid-vertex`, `queue-full`,
+    /// `too-long`, `io`, ...).
+    pub kind: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl RequestError {
+    /// Convenience constructor.
+    pub fn new(kind: &'static str, detail: impl Into<String>) -> RequestError {
+        RequestError {
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// The wire form: `ERR <kind> <detail>` (detail newlines squashed
+    /// so the frame stays one line).
+    pub fn to_line(&self) -> String {
+        format!("ERR {} {}", self.kind, self.detail.replace('\n', " "))
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl From<ecl_cc::EclError> for RequestError {
+    fn from(e: ecl_cc::EclError) -> Self {
+        RequestError {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+fn vertex(tok: &str) -> Result<u32, RequestError> {
+    tok.parse::<u32>().map_err(|_| {
+        RequestError::new(
+            "bad-vertex",
+            format!("expected a non-negative vertex id, got {tok:?}"),
+        )
+    })
+}
+
+/// Parses one request line. Never panics, whatever the bytes.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let mut it = line.split_whitespace();
+    let cmd = it
+        .next()
+        .ok_or_else(|| RequestError::new("empty", "empty request line".to_string()))?;
+    let args: Vec<&str> = it.collect();
+    let arity = |n: usize| -> Result<(), RequestError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(RequestError::new(
+                "bad-arity",
+                format!("{cmd} takes {n} argument(s), got {}", args.len()),
+            ))
+        }
+    };
+    match cmd {
+        "ADD" => {
+            arity(2)?;
+            Ok(Request::Add(vertex(args[0])?, vertex(args[1])?))
+        }
+        "CONN" => {
+            arity(2)?;
+            Ok(Request::Conn(vertex(args[0])?, vertex(args[1])?))
+        }
+        "COMP" => {
+            arity(1)?;
+            Ok(Request::Comp(vertex(args[0])?))
+        }
+        "STATS" => arity(0).map(|()| Request::Stats),
+        "METRICS" => arity(0).map(|()| Request::Metrics),
+        "SUBMIT" => {
+            arity(2)?;
+            Ok(Request::Submit {
+                name: args[0].to_string(),
+                spec: args[1].to_string(),
+            })
+        }
+        "JOB" => {
+            arity(1)?;
+            let id = args[0].parse::<u64>().map_err(|_| {
+                RequestError::new(
+                    "bad-job-id",
+                    format!("expected a job id, got {:?}", args[0]),
+                )
+            })?;
+            Ok(Request::Job(id))
+        }
+        "PING" => arity(0).map(|()| Request::Ping),
+        "QUIT" => arity(0).map(|()| Request::Quit),
+        "SHUTDOWN" => arity(0).map(|()| Request::Shutdown),
+        other => Err(RequestError::new(
+            "bad-command",
+            format!(
+                "unknown command {other:?} (ADD, CONN, COMP, STATS, METRICS, \
+                 SUBMIT, JOB, PING, QUIT, SHUTDOWN)"
+            ),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse_request("ADD 3 9").unwrap(), Request::Add(3, 9));
+        assert_eq!(parse_request("CONN 0 1").unwrap(), Request::Conn(0, 1));
+        assert_eq!(parse_request("COMP 7").unwrap(), Request::Comp(7));
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(
+            parse_request("SUBMIT ring cycle:100").unwrap(),
+            Request::Submit {
+                name: "ring".into(),
+                spec: "cycle:100".into()
+            }
+        );
+        assert_eq!(parse_request("JOB 4").unwrap(), Request::Job(4));
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+        // Whitespace is forgiving; case is not (commands are a protocol,
+        // not a shell).
+        assert_eq!(parse_request("  ADD  1   2 ").unwrap(), Request::Add(1, 2));
+        assert_eq!(parse_request("add 1 2").unwrap_err().kind, "bad-command");
+    }
+
+    #[test]
+    fn malformed_frames_are_structured_errors() {
+        assert_eq!(parse_request("").unwrap_err().kind, "empty");
+        assert_eq!(parse_request("   ").unwrap_err().kind, "empty");
+        assert_eq!(parse_request("FROB 1").unwrap_err().kind, "bad-command");
+        assert_eq!(parse_request("ADD 1").unwrap_err().kind, "bad-arity");
+        assert_eq!(parse_request("ADD 1 2 3").unwrap_err().kind, "bad-arity");
+        assert_eq!(parse_request("ADD x 2").unwrap_err().kind, "bad-vertex");
+        assert_eq!(parse_request("ADD -1 2").unwrap_err().kind, "bad-vertex");
+        assert_eq!(
+            parse_request("ADD 99999999999 2").unwrap_err().kind,
+            "bad-vertex"
+        );
+        assert_eq!(parse_request("JOB many").unwrap_err().kind, "bad-job-id");
+        // Binary garbage parses to *some* structured error, never a panic.
+        assert!(parse_request("\u{0}\u{1}\u{2}").is_err());
+    }
+
+    #[test]
+    fn error_wire_form_is_one_line() {
+        let e = RequestError::new("io", "disk\nfull".to_string());
+        assert_eq!(e.to_line(), "ERR io disk full");
+        let e: RequestError = ecl_cc::EclError::InvalidVertex { vertex: 9, len: 5 }.into();
+        assert_eq!(e.kind, "invalid-vertex");
+        assert!(e.to_line().starts_with("ERR invalid-vertex "));
+    }
+}

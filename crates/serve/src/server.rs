@@ -1,0 +1,435 @@
+//! The TCP server: accept loop, session lifecycle, graceful drain.
+//!
+//! Robustness invariants, each enforced structurally rather than by
+//! hoping clients behave:
+//!
+//! * **Bounded concurrency** — an accepted connection beyond
+//!   `max_conns` is answered with a one-line `BUSY` greeting and closed
+//!   before a session thread is ever spawned.
+//! * **Bounded patience** — every socket gets a read timeout; a session
+//!   that stays silent past `idle_timeout_ms` is reaped with a
+//!   structured `ERR idle-timeout`. A stalled half-written frame
+//!   therefore occupies a slot for a bounded time only.
+//! * **Bounded damage** — each session runs under
+//!   [`catch_unwind`], so a panicking session increments a counter and
+//!   dies alone; the accept loop and every other session keep going.
+//! * **Bounded lines** — input is scanned byte-wise with a hard
+//!   [`MAX_LINE_BYTES`] cap; oversized frames are discarded to the next
+//!   newline and answered with `ERR too-long`.
+//! * **Graceful drain** — `SHUTDOWN` (or [`Server::stop`]) stops the
+//!   accept loop, lets in-flight sessions finish their current
+//!   request, drains the job queue, takes a final snapshot, and writes
+//!   the metrics file. Exit is clean; a SIGKILL instead loses nothing
+//!   acknowledged (see [`crate::state`]).
+
+use crate::jobs::{JobRunner, JobsConfig};
+use crate::protocol::{parse_request, Request, RequestError, MAX_LINE_BYTES, PROTOCOL_VERSION};
+use crate::state::ServeState;
+use ecl_obs::{Recorder, TraceEvent, PID_ENGINE};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// State directory (WAL + snapshots).
+    pub dir: PathBuf,
+    /// Vertex-space size for a fresh start (ignored on resume: the WAL
+    /// meta line pins it).
+    pub vertices: usize,
+    /// Resume from an existing state directory instead of truncating.
+    pub resume: bool,
+    /// Concurrent-session cap; excess connections get `BUSY`.
+    pub max_conns: usize,
+    /// Socket read poll granularity, milliseconds.
+    pub read_timeout_ms: u64,
+    /// Reap a session silent for this long, milliseconds.
+    pub idle_timeout_ms: u64,
+    /// Snapshot every N durable records (0 = only on graceful drain).
+    pub snapshot_every: u64,
+    /// Batch-job subsystem tuning.
+    pub jobs: JobsConfig,
+    /// Observability recorder (disabled by default).
+    pub recorder: Recorder,
+    /// Where to write the final metrics JSON on drain, if anywhere.
+    pub metrics_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            dir: PathBuf::from("serve-state"),
+            vertices: 1 << 20,
+            resume: false,
+            max_conns: 256,
+            read_timeout_ms: 50,
+            idle_timeout_ms: 10_000,
+            snapshot_every: 10_000,
+            jobs: JobsConfig::default(),
+            recorder: Recorder::disabled(),
+            metrics_path: None,
+        }
+    }
+}
+
+/// Operational counters, exposed by `METRICS` and the final metrics
+/// file. Monotonic within one server lifetime; deliberately NOT
+/// persisted (unlike connectivity state).
+#[derive(Default)]
+struct Counters {
+    sessions_opened: AtomicU64,
+    active_sessions: AtomicU64,
+    rejected_busy: AtomicU64,
+    malformed: AtomicU64,
+    idle_timeouts: AtomicU64,
+    session_panics: AtomicU64,
+    requests: AtomicU64,
+}
+
+struct Shared {
+    state: ServeState,
+    jobs: JobRunner,
+    counters: Counters,
+    recorder: Recorder,
+    shutdown: AtomicBool,
+    cfg: ServeConfig,
+}
+
+/// A running server. Drop does not stop it; call [`Server::stop`] (or
+/// send `SHUTDOWN` over the wire) and then [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Opens (or resumes) the state, starts the job workers and the
+    /// accept loop, and returns once the listener is bound.
+    pub fn start(cfg: ServeConfig) -> Result<Server, String> {
+        let state = if cfg.resume {
+            ServeState::resume(&cfg.dir, cfg.snapshot_every)?
+        } else {
+            ServeState::open_fresh(&cfg.dir, cfg.vertices, cfg.snapshot_every)?
+        };
+        let jobs = JobRunner::start(cfg.jobs.clone());
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+        let shared = Arc::new(Shared {
+            state,
+            jobs,
+            counters: Counters::default(),
+            recorder: cfg.recorder.clone(),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain (idempotent, non-blocking).
+    pub fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the drain to complete. Returns an error if the final
+    /// snapshot could not be written.
+    pub fn join(self) -> Result<(), String> {
+        if let Some(h) = self.accept_thread.lock().unwrap().take() {
+            h.join().map_err(|_| "accept loop panicked".to_string())?;
+        }
+        // The accept loop has drained sessions and jobs; persist.
+        self.shared.state.snapshot()?;
+        let r = &self.shared.recorder;
+        if r.is_enabled() {
+            let c = &self.shared.counters;
+            r.set_metric(
+                "serve.sessions_opened",
+                c.sessions_opened.load(Ordering::Relaxed) as f64,
+            );
+            r.set_metric(
+                "serve.rejected_busy",
+                c.rejected_busy.load(Ordering::Relaxed) as f64,
+            );
+            r.set_metric(
+                "serve.malformed",
+                c.malformed.load(Ordering::Relaxed) as f64,
+            );
+            r.set_metric(
+                "serve.idle_timeouts",
+                c.idle_timeouts.load(Ordering::Relaxed) as f64,
+            );
+            r.set_metric(
+                "serve.session_panics",
+                c.session_panics.load(Ordering::Relaxed) as f64,
+            );
+            r.set_metric("serve.requests", c.requests.load(Ordering::Relaxed) as f64);
+            if let Some(path) = &self.shared.cfg.metrics_path {
+                std::fs::write(path, r.metrics_json())
+                    .map_err(|e| format!("write metrics {}: {e}", path.display()))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                sessions.retain(|h| !h.is_finished());
+                let c = &shared.counters;
+                if c.active_sessions.load(Ordering::SeqCst) >= shared.cfg.max_conns as u64 {
+                    c.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                    reject_busy(stream, &shared);
+                    continue;
+                }
+                c.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                c.active_sessions.fetch_add(1, Ordering::SeqCst);
+                let session_shared = Arc::clone(&shared);
+                sessions.push(std::thread::spawn(move || {
+                    // Panic containment: a poisoned session must never
+                    // take the server (or the counter) down with it.
+                    let sess = Arc::clone(&session_shared);
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(move || run_session(stream, &sess)));
+                    if outcome.is_err() {
+                        session_shared
+                            .counters
+                            .session_panics
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    session_shared
+                        .counters
+                        .active_sessions
+                        .fetch_sub(1, Ordering::SeqCst);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Drain: no new sessions; the ones in flight notice the shutdown
+    // flag at their next request boundary and close.
+    for h in sessions {
+        let _ = h.join();
+    }
+    shared.jobs.shutdown();
+}
+
+/// Over-capacity greeting: structured, one line, immediate close.
+fn reject_busy(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = writeln!(
+        stream,
+        "BUSY max-conns server at capacity ({})",
+        shared.cfg.max_conns
+    );
+}
+
+/// Byte-wise line reader with idle reaping and a hard length cap.
+enum ReadOutcome {
+    Line(String),
+    TooLong,
+    IdleTimeout,
+    Disconnected,
+    Draining,
+}
+
+fn read_line(stream: &mut TcpStream, pending: &mut Vec<u8>, shared: &Shared) -> ReadOutcome {
+    let idle_deadline = Instant::now() + Duration::from_millis(shared.cfg.idle_timeout_ms);
+    let mut too_long = false;
+    let mut byte = [0u8; 1];
+    loop {
+        // Serve a buffered line first (pipelined clients).
+        if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            if too_long {
+                return ReadOutcome::TooLong;
+            }
+            let text = String::from_utf8_lossy(&line[..line.len() - 1])
+                .trim_end_matches('\r')
+                .to_string();
+            return ReadOutcome::Line(text);
+        }
+        if pending.len() > MAX_LINE_BYTES {
+            // Discard until the newline arrives, then report once.
+            too_long = true;
+            pending.clear();
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return ReadOutcome::Draining;
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return ReadOutcome::Disconnected,
+            Ok(_) => pending.push(byte[0]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= idle_deadline {
+                    return ReadOutcome::IdleTimeout;
+                }
+            }
+            Err(_) => return ReadOutcome::Disconnected,
+        }
+    }
+}
+
+fn run_session(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.cfg.read_timeout_ms.max(1),
+    )));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(2_000)));
+    let _ = stream.set_nodelay(true);
+
+    let stats = shared.state.stats();
+    if writeln!(stream, "{PROTOCOL_VERSION} OK vertices={}", stats.vertices).is_err() {
+        return;
+    }
+
+    let mut pending: Vec<u8> = Vec::new();
+    loop {
+        let outcome = read_line(&mut stream, &mut pending, shared);
+        let line = match outcome {
+            ReadOutcome::Line(l) => l,
+            ReadOutcome::TooLong => {
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                let e = RequestError::new(
+                    "too-long",
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                if writeln!(stream, "{}", e.to_line()).is_err() {
+                    return;
+                }
+                continue;
+            }
+            ReadOutcome::IdleTimeout => {
+                shared
+                    .counters
+                    .idle_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                let e = RequestError::new(
+                    "idle-timeout",
+                    format!("no complete request in {} ms", shared.cfg.idle_timeout_ms),
+                );
+                let _ = writeln!(stream, "{}", e.to_line());
+                return;
+            }
+            ReadOutcome::Disconnected => return,
+            ReadOutcome::Draining => return,
+        };
+
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match parse_request(&line) {
+            Err(e) => {
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                e.to_line()
+            }
+            Ok(req) => match handle_request(shared, req) {
+                Handled::Reply(r) => r,
+                Handled::Close(r) => {
+                    let _ = writeln!(stream, "{r}");
+                    return;
+                }
+            },
+        };
+        if writeln!(stream, "{response}").is_err() {
+            return;
+        }
+    }
+}
+
+enum Handled {
+    Reply(String),
+    Close(String),
+}
+
+fn handle_request(shared: &Arc<Shared>, req: Request) -> Handled {
+    let render = |r: Result<String, RequestError>| match r {
+        Ok(ok) => Handled::Reply(ok),
+        Err(e) => Handled::Reply(e.to_line()),
+    };
+    match req {
+        Request::Add(u, v) => render(
+            shared
+                .state
+                .add_edge(u, v)
+                .map(|linked| format!("OK linked={linked}")),
+        ),
+        Request::Conn(u, v) => render(shared.state.connected(u, v).map(|c| format!("OK {c}"))),
+        Request::Comp(v) => render(shared.state.component(v).map(|r| format!("OK {r}"))),
+        Request::Stats => {
+            let s = shared.state.stats();
+            Handled::Reply(format!(
+                "OK vertices={} edges={} components={}",
+                s.vertices, s.edges, s.components
+            ))
+        }
+        Request::Metrics => {
+            let c = &shared.counters;
+            if shared.recorder.is_enabled() {
+                shared.recorder.record(TraceEvent::counter(
+                    "serve.queue_depth",
+                    "serve",
+                    PID_ENGINE,
+                    shared.recorder.now_us(),
+                    shared.jobs.queue_depth() as f64,
+                ));
+            }
+            Handled::Reply(format!(
+                "OK sessions={} active={} busy_rejects={} malformed={} idle_timeouts={} \
+                 panics={} requests={} queue_depth={}",
+                c.sessions_opened.load(Ordering::Relaxed),
+                c.active_sessions.load(Ordering::SeqCst),
+                c.rejected_busy.load(Ordering::Relaxed),
+                c.malformed.load(Ordering::Relaxed),
+                c.idle_timeouts.load(Ordering::Relaxed),
+                c.session_panics.load(Ordering::Relaxed),
+                c.requests.load(Ordering::Relaxed),
+                shared.jobs.queue_depth(),
+            ))
+        }
+        Request::Submit { name: _, spec } => {
+            render(shared.jobs.submit(&spec).map(|id| format!("OK job={id}")))
+        }
+        Request::Job(id) => match shared.jobs.status(id) {
+            Some(status) => Handled::Reply(status.to_line()),
+            None => Handled::Reply(
+                RequestError::new("no-such-job", format!("job {id} was never submitted")).to_line(),
+            ),
+        },
+        Request::Ping => Handled::Reply("OK pong".to_string()),
+        Request::Quit => Handled::Close("OK bye".to_string()),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Handled::Close("OK draining".to_string())
+        }
+    }
+}

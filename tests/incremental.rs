@@ -1,0 +1,159 @@
+//! Concurrency property tests for the streaming [`IncrementalCc`]
+//! structure that backs the `ecl-serve` server.
+//!
+//! The headline property: N threads racing `add_edge` over a shuffled
+//! partition of a graph's edges must converge to a labeling that the
+//! independent checker certifies as canonically identical to serial
+//! ECL-CC on the same graph — the lock-free hooking protocol loses no
+//! edge under any interleaving. Alongside it: `connected` must never
+//! contradict an insertion that has completed (monotonicity — once a
+//! client has been told an edge is in, connectivity through it can
+//! never be un-observed), and the fallible `try_*` API must reject
+//! out-of-range vertices with a structured error instead of panicking.
+
+use ecl_cc::incremental::IncrementalCc;
+use ecl_cc::EclError;
+use ecl_gpu_sim::FaultRng;
+use ecl_graph::CsrGraph;
+use std::sync::Arc;
+
+/// All undirected edges of `g`, one direction each.
+fn edge_list(g: &CsrGraph) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for u in 0..g.num_vertices() as u32 {
+        for &v in g.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// Races `threads` workers over a shuffled partition of the edges and
+/// returns the converged structure.
+fn race_insert(n: usize, edges: &[(u32, u32)], threads: usize, seed: u64) -> IncrementalCc {
+    let mut shuffled = edges.to_vec();
+    FaultRng::new(seed, 0).shuffle(&mut shuffled);
+    let cc = Arc::new(IncrementalCc::new(n));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let cc = Arc::clone(&cc);
+            let mine: Vec<(u32, u32)> = shuffled.iter().copied().skip(t).step_by(threads).collect();
+            std::thread::spawn(move || {
+                for (u, v) in mine {
+                    cc.add_edge(u, v);
+                    // Monotonicity: a completed insertion is immediately
+                    // and permanently visible to connectivity queries,
+                    // no matter what the other threads are doing.
+                    assert!(
+                        cc.connected(u, v),
+                        "connected({u},{v}) contradicted a completed add_edge"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("racing inserter panicked");
+    }
+    match Arc::try_unwrap(cc) {
+        Ok(cc) => cc,
+        Err(_) => panic!("a worker still holds the structure"),
+    }
+}
+
+#[test]
+fn racing_inserters_converge_to_certified_serial_labels() {
+    for (name, g) in ecl_integration::corpus() {
+        let n = g.num_vertices();
+        let edges = edge_list(&g);
+        let serial = ecl_cc::connected_components(&g);
+        let serial_cert = ecl_verify::certify_canonical(&g, &serial.labels)
+            .unwrap_or_else(|e| panic!("{name}: serial labels failed certification: {e}"));
+        for (threads, seed) in [(2, 1u64), (4, 7), (8, 23)] {
+            let cc = race_insert(n, &edges, threads, seed);
+            let labels = cc.finish().labels;
+            let cert = ecl_verify::certify_canonical(&g, &labels).unwrap_or_else(|e| {
+                panic!("{name} ({threads} threads, seed {seed}): concurrent labels rejected: {e}")
+            });
+            assert_eq!(
+                cert.num_components, serial_cert.num_components,
+                "{name}: component count diverged"
+            );
+            // Both labelings are certified canonical (component-minimum
+            // representatives), so equivalence means equality.
+            assert_eq!(
+                labels, serial.labels,
+                "{name} ({threads} threads, seed {seed}): labels diverged from serial ECL-CC"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_queries_never_contradict_completed_inserts() {
+    // Writers stream a long path while readers hammer connectivity
+    // queries over the prefix each writer has already completed. Reads
+    // racing in-flight inserts may say either true or false; reads of
+    // completed prefixes must always say true.
+    let n = 4_000usize;
+    let cc = Arc::new(IncrementalCc::new(n));
+    let done = Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let writer = {
+        let cc = Arc::clone(&cc);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            for v in 1..n as u32 {
+                cc.add_edge(v - 1, v);
+                done.store(v, std::sync::atomic::Ordering::Release);
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let cc = Arc::clone(&cc);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut rng = FaultRng::new(99, r);
+                for _ in 0..20_000 {
+                    let frontier = done.load(std::sync::atomic::Ordering::Acquire);
+                    if frontier == 0 {
+                        continue;
+                    }
+                    let u = rng.below(u64::from(frontier) + 1) as u32;
+                    let v = rng.below(u64::from(frontier) + 1) as u32;
+                    assert!(
+                        cc.connected(u, v),
+                        "query ({u},{v}) under frontier {frontier} returned false"
+                    );
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert!(cc.connected(0, n as u32 - 1));
+}
+
+#[test]
+fn try_api_is_total_over_arbitrary_inputs() {
+    let cc = IncrementalCc::new(10);
+    for bad in [10u32, 11, 1 << 20, u32::MAX] {
+        match cc.try_add_edge(bad, 3) {
+            Err(EclError::InvalidVertex { vertex, len }) => {
+                assert_eq!(vertex, bad);
+                assert_eq!(len, 10);
+            }
+            other => panic!("try_add_edge({bad}, 3) = {other:?}, wanted InvalidVertex"),
+        }
+        assert!(cc.try_connected(3, bad).is_err());
+        assert!(cc.try_component(bad).is_err());
+    }
+    // The failed calls must not have perturbed the structure.
+    assert!(cc.try_add_edge(2, 3).unwrap());
+    assert!(cc.try_connected(2, 3).unwrap());
+    assert_eq!(cc.num_components(), 9);
+}
