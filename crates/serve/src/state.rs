@@ -23,6 +23,15 @@
 //! recovered exactly, and the only possible extras are edges that were
 //! durable (or snapshotted mid-flight) but whose `OK` never reached the
 //! client — the standard at-least-once envelope.
+//!
+//! The apply-before-append ordering has one visible asymmetry: if the
+//! WAL append *fails*, the client gets `ERR io`, but the merge already
+//! happened and stays visible to `CONN`/`COMP` in the live process —
+//! and can even persist across a restart if a concurrent snapshot
+//! captured it. So `ERR io` means "not durable", **not** "not
+//! applied"; this sits inside the same at-least-once envelope as a
+//! crash after fsync but before `OK`. (Validation errors are different:
+//! an `ERR invalid-vertex` edge was rejected before touching anything.)
 
 use crate::protocol::RequestError;
 use crate::wal::{self, Wal};
@@ -123,7 +132,7 @@ impl ServeState {
             cc.try_add_edge(u, v)
                 .map_err(|e| format!("WAL replay: {e}"))?;
         }
-        let wal = Wal::append(&wal_path, total).map_err(|e| format!("reopen {WAL_FILE}: {e}"))?;
+        let wal = Wal::append(&wal_path, &snap).map_err(|e| format!("reopen {WAL_FILE}: {e}"))?;
         Ok(ServeState {
             cc,
             wal,
@@ -138,6 +147,13 @@ impl ServeState {
     /// durable, then report. The returned `linked` flag tells the
     /// client whether the edge merged two components. The `Ok` return
     /// IS the acknowledgement point — the record is fsync'd.
+    ///
+    /// An `Err` with kind `invalid-vertex` means the edge was rejected
+    /// before touching anything. An `Err` with kind `io` (WAL append
+    /// failed) means the edge is **not durable but already applied**:
+    /// the merge stays visible to queries in this process and may
+    /// survive a restart if a snapshot captured it — see the module
+    /// docs on the at-least-once envelope.
     pub fn add_edge(&self, u: Vertex, v: Vertex) -> Result<bool, RequestError> {
         let linked = self.cc.try_add_edge(u, v).map_err(RequestError::from)?;
         self.wal
@@ -175,7 +191,11 @@ impl ServeState {
             return;
         }
         let durable = self.wal.durable_records();
-        if durable - self.last_snapshot.load(Ordering::Relaxed) >= self.snapshot_every {
+        // saturating: another session may snapshot (storing a larger
+        // watermark) between our two loads, making the difference
+        // negative.
+        let since = durable.saturating_sub(self.last_snapshot.load(Ordering::Relaxed));
+        if since >= self.snapshot_every {
             let _ = self.snapshot();
         }
     }
@@ -338,6 +358,36 @@ mod tests {
         // The rejected ADD left no trace: nothing durable, nothing merged.
         assert_eq!(s.stats().edges, 0);
         assert_eq!(s.stats().components, 4);
+    }
+
+    #[test]
+    fn resume_over_torn_tail_then_ingest_then_resume_again() {
+        // Kill mid-append (torn WAL tail), resume, acknowledge more
+        // edges, kill again, resume again: every acknowledged edge must
+        // survive both restarts. Regression test for appends landing
+        // after un-truncated torn bytes and fusing into one unparseable
+        // line that the second resume would discard wholesale.
+        let d = tmpdir("torn_resume");
+        let s = ServeState::open_fresh(&d, 10, 0).unwrap();
+        s.add_edge(0, 1).unwrap();
+        drop(s);
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(d.join(WAL_FILE))
+                .unwrap();
+            write!(f, "e\t2").unwrap(); // SIGKILL mid-record
+        }
+        let r = ServeState::resume(&d, 0).unwrap();
+        assert_eq!(r.stats().edges, 1);
+        r.add_edge(2, 3).unwrap();
+        r.add_edge(3, 4).unwrap();
+        drop(r); // second kill
+        let r2 = ServeState::resume(&d, 0).unwrap();
+        assert_eq!(r2.stats().edges, 3);
+        assert!(r2.connected(0, 1).unwrap());
+        assert!(r2.connected(2, 4).unwrap());
     }
 
     #[test]

@@ -17,7 +17,19 @@
 //! arbitrary truncation. A kill mid-append leaves at most a torn tail,
 //! which [`load`] discards — by the apply-then-append ordering those
 //! records were never acknowledged, so dropping them only loses edges
-//! no client was told about.
+//! no client was told about. [`load`] also reports the byte offset of
+//! the end of the last valid record, and [`Wal::append`] truncates the
+//! file to that offset before writing anything: appending after torn
+//! bytes would merge the tear with the next record into one
+//! unparseable line, which a later [`load`] would treat as the tear —
+//! silently discarding every acknowledged record behind it.
+//!
+//! A failed flush rolls the file back to its pre-write length before
+//! the batch is re-queued, so a partial `write_all` can neither leave
+//! a mid-file tear nor be appended twice by a later successful flush.
+//! If the rollback itself fails the on-disk state is unknown and the
+//! WAL is **poisoned**: every subsequent append fails fast rather than
+//! risk acknowledging records it cannot prove durable.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write};
@@ -36,6 +48,9 @@ struct WalState {
     flushed: u64,
     /// A leader is currently writing; followers wait.
     flushing: bool,
+    /// A flush failed *and* the rollback failed: the file's tail is in
+    /// an unknown state, so no further append may be acknowledged.
+    poisoned: bool,
 }
 
 /// Append-side handle: concurrent, durable, group-committed.
@@ -57,12 +72,20 @@ impl Wal {
         Ok(Wal::wrap(file, 0))
     }
 
-    /// Reopens an existing WAL for appending after a resume, where
-    /// `records` edges were recovered from it (they are already
-    /// durable, so they seed the flushed watermark).
-    pub fn append(path: &Path, records: u64) -> io::Result<Wal> {
+    /// Reopens the WAL behind a [`load`] for appending: the recovered
+    /// records are already durable, so they seed the flushed watermark.
+    /// If the file carries torn bytes past the last valid record (a
+    /// kill mid-append), they are cut off first — appending after them
+    /// would fuse the tear and the new record into one unparseable
+    /// line, which the *next* [`load`] would mistake for the tear and
+    /// discard together with every acknowledged record after it.
+    pub fn append(path: &Path, recovered: &WalSnapshot) -> io::Result<Wal> {
         let file = OpenOptions::new().append(true).open(path)?;
-        Ok(Wal::wrap(file, records))
+        if file.metadata()?.len() != recovered.valid_len {
+            file.set_len(recovered.valid_len)?;
+            file.sync_data()?;
+        }
+        Ok(Wal::wrap(file, recovered.edges.len() as u64))
     }
 
     fn wrap(file: File, flushed: u64) -> Wal {
@@ -72,10 +95,15 @@ impl Wal {
                 pending: flushed,
                 flushed,
                 flushing: false,
+                poisoned: false,
             }),
             cv: Condvar::new(),
             file: Mutex::new(file),
         }
+    }
+
+    fn poisoned_err() -> io::Error {
+        io::Error::other("WAL poisoned: an earlier flush failed and could not be rolled back")
     }
 
     /// Durably appends one edge record, returning its sequence number
@@ -85,6 +113,9 @@ impl Wal {
     pub fn append_edge(&self, u: u32, v: u32) -> io::Result<u64> {
         let my_seq = {
             let mut s = self.state.lock().unwrap();
+            if s.poisoned {
+                return Err(Self::poisoned_err());
+            }
             s.pending += 1;
             let seq = s.pending;
             s.buf.extend_from_slice(format!("e\t{u}\t{v}\n").as_bytes());
@@ -92,6 +123,9 @@ impl Wal {
         };
         loop {
             let mut s = self.state.lock().unwrap();
+            if s.poisoned {
+                return Err(Self::poisoned_err());
+            }
             if s.flushed >= my_seq {
                 return Ok(my_seq);
             }
@@ -108,7 +142,7 @@ impl Wal {
 
             let res = {
                 let mut f = self.file.lock().unwrap();
-                f.write_all(&batch).and_then(|()| f.sync_data())
+                flush_batch(&mut f, &batch)
             };
 
             let mut s = self.state.lock().unwrap();
@@ -119,15 +153,29 @@ impl Wal {
                     self.cv.notify_all();
                     // Loop exits via the flushed check above.
                 }
-                Err(e) => {
-                    // Put the batch back so followers' records are not
-                    // silently dropped; everyone waiting re-races and
-                    // observes the error on their own flush attempt.
-                    let mut unwritten = batch;
-                    unwritten.extend_from_slice(&s.buf);
-                    s.buf = unwritten;
+                Err(FlushError { cause, poisons }) => {
+                    if poisons {
+                        // The rollback failed: bytes of `batch` may or
+                        // may not be on disk, so neither retrying (risk
+                        // of duplicates) nor dropping (risk of a
+                        // mid-file tear before records already written
+                        // behind it) is sound. Refuse all future
+                        // appends; followers observe `poisoned` when
+                        // they wake.
+                        s.poisoned = true;
+                        s.buf.clear();
+                    } else {
+                        // The file was rolled back to the last record
+                        // boundary, so the batch can safely be retried:
+                        // put it back so followers' records are not
+                        // silently dropped. Everyone waiting re-races
+                        // and observes the error on their own attempt.
+                        let mut unwritten = batch;
+                        unwritten.extend_from_slice(&s.buf);
+                        s.buf = unwritten;
+                    }
                     self.cv.notify_all();
-                    return Err(e);
+                    return Err(cause);
                 }
             }
         }
@@ -140,6 +188,41 @@ impl Wal {
     }
 }
 
+/// A failed flush, and whether the failure leaves the file in an
+/// unknown state (rollback failed ⇒ the WAL must be poisoned).
+struct FlushError {
+    cause: io::Error,
+    poisons: bool,
+}
+
+/// Writes and syncs one batch. `write_all` may fail after writing a
+/// prefix (or succeed entirely with only the fsync failing), so on any
+/// failure the file is rolled back to its pre-write length: re-queuing
+/// the batch is then a clean retry rather than a source of duplicate
+/// records or a partial record fused with the next flush's bytes.
+fn flush_batch(f: &mut File, batch: &[u8]) -> Result<(), FlushError> {
+    let before = match f.metadata() {
+        // Nothing was written yet, so the batch is safe to re-queue.
+        Err(e) => {
+            return Err(FlushError {
+                cause: e,
+                poisons: false,
+            })
+        }
+        Ok(m) => m.len(),
+    };
+    match f.write_all(batch).and_then(|()| f.sync_data()) {
+        Ok(()) => Ok(()),
+        Err(cause) => {
+            let rollback = f.set_len(before).and_then(|()| f.sync_data());
+            Err(FlushError {
+                cause,
+                poisons: rollback.is_err(),
+            })
+        }
+    }
+}
+
 /// Everything recovered from a WAL file.
 #[derive(Debug)]
 pub struct WalSnapshot {
@@ -148,17 +231,32 @@ pub struct WalSnapshot {
     /// Durable edge records, in append order. A torn trailing record is
     /// discarded (it was never acknowledged).
     pub edges: Vec<(u32, u32)>,
+    /// Byte offset of the end of the last valid record (= the offset
+    /// [`Wal::append`] truncates to, cutting any torn tail).
+    pub valid_len: u64,
 }
 
 /// Loads a WAL, discarding a torn tail. Fails on a missing file or an
-/// unreadable meta line.
+/// unreadable meta line. A record is only valid if it parses *and*
+/// carries its trailing newline: a truncated write can leave a prefix
+/// that still parses (`e\t2\t5` torn from `e\t2\t57\n`), and trusting
+/// it would resurrect an edge that was never acknowledged.
 pub fn load(path: &Path) -> io::Result<WalSnapshot> {
-    let reader = BufReader::new(File::open(path)?);
-    let mut lines = reader.lines();
-    let meta = lines
-        .next()
-        .transpose()?
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "WAL is empty"))?;
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "WAL is empty"));
+    }
+    if !line.ends_with('\n') {
+        // `create` syncs the meta line before any append is possible,
+        // so a torn meta means creation itself died — nothing was ever
+        // acknowledged, and there is no valid prefix to resume from.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "torn WAL meta line",
+        ));
+    }
+    let meta = line.trim_end_matches('\n');
     let mut mf = meta.split('\t');
     let vertices = match (mf.next(), mf.next(), mf.next(), mf.next()) {
         (Some("eclwal"), Some(v), Some(n), None) if v == VERSION.to_string() => n
@@ -171,17 +269,32 @@ pub fn load(path: &Path) -> io::Result<WalSnapshot> {
             ))
         }
     };
+    let mut valid_len = line.len() as u64;
     let mut edges = Vec::new();
-    for line in lines {
-        let line = line?;
-        match parse_edge_line(&line) {
-            Some(e) => edges.push(e),
-            // First unparseable record = torn tail; everything after a
-            // tear is untrusted by construction.
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        // First incomplete or unparseable record = torn tail;
+        // everything at and after a tear is untrusted by construction.
+        if !line.ends_with('\n') {
+            break;
+        }
+        match parse_edge_line(line.trim_end_matches('\n')) {
+            Some(e) => {
+                edges.push(e);
+                valid_len += n as u64;
+            }
             None => break,
         }
     }
-    Ok(WalSnapshot { vertices, edges })
+    Ok(WalSnapshot {
+        vertices,
+        edges,
+        valid_len,
+    })
 }
 
 fn parse_edge_line(line: &str) -> Option<(u32, u32)> {
@@ -216,8 +329,9 @@ mod tests {
         let snap = load(&p).unwrap();
         assert_eq!(snap.vertices, 10);
         assert_eq!(snap.edges, vec![(0, 1), (2, 3)]);
+        assert_eq!(snap.valid_len, std::fs::metadata(&p).unwrap().len());
         // Resume-side append continues the sequence.
-        let wal = Wal::append(&p, 2).unwrap();
+        let wal = Wal::append(&p, &snap).unwrap();
         assert_eq!(wal.append_edge(4, 5).unwrap(), 3);
         drop(wal);
         assert_eq!(load(&p).unwrap().edges.len(), 3);
@@ -229,11 +343,72 @@ mod tests {
         let wal = Wal::create(&p, 4).unwrap();
         wal.append_edge(0, 1).unwrap();
         drop(wal);
+        let clean_len = std::fs::metadata(&p).unwrap().len();
         let mut f = OpenOptions::new().append(true).open(&p).unwrap();
         write!(f, "e\t2").unwrap(); // killed mid-record
         drop(f);
         let snap = load(&p).unwrap();
         assert_eq!(snap.edges, vec![(0, 1)]);
+        assert_eq!(snap.valid_len, clean_len);
+    }
+
+    #[test]
+    fn parseable_tail_without_newline_is_torn() {
+        // A truncated `e\t2\t57\n` can leave `e\t2\t5`, which still
+        // parses as an edge — but without its newline it was never
+        // fully written, hence never acknowledged.
+        let p = tmpfile("noeol");
+        let wal = Wal::create(&p, 64).unwrap();
+        wal.append_edge(0, 1).unwrap();
+        drop(wal);
+        let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+        write!(f, "e\t2\t5").unwrap();
+        drop(f);
+        assert_eq!(load(&p).unwrap().edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn append_after_torn_tail_truncates_before_writing() {
+        // The resume → add → kill → resume sequence over a torn tail:
+        // without truncation the new record fuses with the torn bytes
+        // ("e\t2" + "e\t4\t5\n" = one unparseable line) and the second
+        // load discards it and everything after — acknowledged-data
+        // loss.
+        let p = tmpfile("torn_resume");
+        let wal = Wal::create(&p, 16).unwrap();
+        wal.append_edge(0, 1).unwrap();
+        drop(wal);
+        let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+        write!(f, "e\t2").unwrap(); // killed mid-record
+        drop(f);
+
+        let snap = load(&p).unwrap();
+        assert_eq!(snap.edges, vec![(0, 1)]);
+        let wal = Wal::append(&p, &snap).unwrap();
+        assert_eq!(wal.append_edge(4, 5).unwrap(), 2);
+        wal.append_edge(6, 7).unwrap();
+        drop(wal);
+
+        let snap = load(&p).unwrap();
+        assert_eq!(snap.edges, vec![(0, 1), (4, 5), (6, 7)]);
+        assert_eq!(snap.valid_len, std::fs::metadata(&p).unwrap().len());
+    }
+
+    #[test]
+    fn flush_failure_with_failed_rollback_poisons_the_wal() {
+        // A read-only handle makes both the write and the rollback
+        // fail, which must poison the WAL: the append errors, and every
+        // later append fails fast instead of acknowledging records that
+        // were never written.
+        let p = tmpfile("poison");
+        drop(Wal::create(&p, 8).unwrap());
+        let before = std::fs::read(&p).unwrap();
+        let wal = Wal::wrap(File::open(&p).unwrap(), 0);
+        assert!(wal.append_edge(0, 1).is_err());
+        let err = wal.append_edge(2, 3).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "got: {err}");
+        // Nothing leaked onto disk.
+        assert_eq!(std::fs::read(&p).unwrap(), before);
     }
 
     #[test]
