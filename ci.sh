@@ -145,4 +145,47 @@ grep -q '"server_panics":0' BENCH_serve.json \
     || { echo "serve: server panicked under chaos load"; exit 1; }
 echo "    serve survived chaos + SIGKILL; all acked edges recovered"
 
+echo "==> sharded vs serial byte-equality"
+# The same graph labeled single-device serial and edge-cut across
+# simulated devices; certified labels must be byte-identical, on two
+# different topology classes (grid: tiny cut; RMAT: huge cut).
+for G in 2d-2e20.sym rmat16.sym; do
+    "$ECL" generate "$G" -o "$BATCH_DIR/shard.ecl" --scale tiny > /dev/null
+    "$ECL" components "$BATCH_DIR/shard.ecl" \
+        --labels "$BATCH_DIR/shard-serial.labels" > /dev/null
+    for N in 2 3 5; do
+        "$ECL" components "$BATCH_DIR/shard.ecl" --shards "$N" \
+            --labels "$BATCH_DIR/shard-$N.labels" > /dev/null
+        cmp -s "$BATCH_DIR/shard-serial.labels" "$BATCH_DIR/shard-$N.labels" \
+            || { echo "$G: $N-shard labels differ from serial"; exit 1; }
+    done
+done
+echo "    2/3/5-shard labels byte-identical to serial on both graphs"
+
+echo "==> sharded chaos + mid-run device crash"
+# Seeded interconnect chaos (dropped + corrupted frames) plus a device
+# crash injected at exchange round 2; the run must recover the lost
+# shard from its round-boundary checkpoint, still certify, and still
+# produce the serial bytes.
+"$ECL" components "$BATCH_DIR/shard.ecl" --shards 4 \
+    --shard-chaos seed=5,drop=100,corrupt=60,crash=2 \
+    --shard-ckpt "$BATCH_DIR/shard-ckpt" --crash-budget 1 \
+    --labels "$BATCH_DIR/shard-crash.labels" > "$BATCH_DIR/shard-crash.out" 2>&1
+grep -q "1 shards recovered" "$BATCH_DIR/shard-crash.out" \
+    || { echo "device crash was not recovered"; cat "$BATCH_DIR/shard-crash.out"; exit 1; }
+cmp -s "$BATCH_DIR/shard-serial.labels" "$BATCH_DIR/shard-crash.labels" \
+    || { echo "post-recovery labels differ from serial"; exit 1; }
+echo "    device crash recovered from checkpoint; labels still serial bytes"
+
+echo "==> harness sharded gate"
+# The full clean/chaos/crash matrix (quick graphs x 2/4/8 shards); the
+# experiment itself exits nonzero unless every configuration is
+# byte-identical to serial and every injected crash recovers.
+./target/release/harness sharded --scale tiny \
+    --json BENCH_sharded_ci.json > /dev/null
+grep -q '"pass":true' BENCH_sharded_ci.json \
+    || { echo "sharded matrix gate failed"; exit 1; }
+rm -f BENCH_sharded_ci.json
+echo "    sharded matrix: all configurations byte-identical, all crashes recovered"
+
 echo "CI OK"

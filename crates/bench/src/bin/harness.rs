@@ -13,6 +13,9 @@
 //!   serve       (TCP server load + chaos + SIGKILL/resume; writes
 //!                BENCH_serve.json or the --json path; --fault-plan
 //!                picks the chaos mix, default serve-chaos:1)
+//!   sharded     (multi-device shard matrix: clean / shard-chaos /
+//!                device-crash recovery, byte-identity gated; writes
+//!                BENCH_sharded.json or the --json path)
 //!   internals   (= fig7 fig8 table3 table4 fig9 fig10)
 //!   all         (everything)
 //! ```
@@ -121,7 +124,7 @@ fn main() {
                 );
                 println!(
                     "             table7 table8 table9 table10 fig17 ordering simspeed micro \
-                     serve internals all"
+                     serve sharded internals all"
                 );
                 println!("--fault-plan SPEC seeds the serve chaos mix (default serve-chaos:1)");
                 println!("--exec parallel[:N] runs GPU experiments host-parallel (0 = per core);");
@@ -176,6 +179,7 @@ fn main() {
             "batch" => vec!["batch"],
             "simspeed" => vec!["simspeed"],
             "serve" => vec!["serve"],
+            "sharded" => vec!["sharded"],
             "micro" => vec!["micro"],
             other => {
                 eprintln!("unknown experiment '{other}' (see --help)");
@@ -221,6 +225,13 @@ fn main() {
                 // shared BenchRecord report.
                 let path = json_path.as_deref().unwrap_or("BENCH_serve.json");
                 ecl_bench::serve_load::serve_load(scale, fault_plan, path);
+                json_consumed = true;
+            }
+            "sharded" => {
+                // Same own-JSON pattern as `serve`: the experiment is its
+                // own pass/fail gate and summary writer.
+                let path = json_path.as_deref().unwrap_or("BENCH_sharded.json");
+                ecl_bench::shard_bench::sharded(scale, fault_plan, path);
                 json_consumed = true;
             }
             "simspeed" => records.extend(exp::simspeed(

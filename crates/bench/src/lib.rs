@@ -11,6 +11,7 @@ pub mod microbench;
 pub mod report;
 pub mod runners;
 pub mod serve_load;
+pub mod shard_bench;
 
 use ecl_graph::catalog::{PaperGraph, Scale};
 use ecl_graph::CsrGraph;

@@ -252,6 +252,37 @@ pub fn run_ladder_obs(
     ecl_cc::ladder::run_with_fallback(g, &cfg).map_err(|e| e.to_string())
 }
 
+/// Runs sharded multi-device ECL-CC: the graph is edge-cut across
+/// `shards` simulated devices, each solves locally, and min-label
+/// exchange rounds over the fault-injected interconnect reconcile the
+/// shared vertices to a certified, byte-identical-to-serial labeling.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_obs(
+    g: &CsrGraph,
+    shards: usize,
+    threads: usize,
+    watchdog: Option<u64>,
+    fault: FaultPlan,
+    exec: ExecMode,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    crash_budget: u32,
+    recorder: Option<ecl_obs::Recorder>,
+) -> Result<ecl_shard::ShardOutcome, String> {
+    let cfg = ecl_shard::ShardConfig {
+        shards,
+        threads,
+        watchdog,
+        fault,
+        exec,
+        profile: DeviceProfile::titan_x(),
+        checkpoint_dir,
+        crash_budget,
+        recorder,
+        ..ecl_shard::ShardConfig::default()
+    };
+    ecl_shard::run_sharded(g, &cfg).map_err(|e| e.to_string())
+}
+
 /// Runs ECL-CC on the simulated GPU alone — no fallback — with the given
 /// fault plan and optional watchdog installed. Structured errors (kernel
 /// name, cycle counts) are flattened to a message here because the CLI is

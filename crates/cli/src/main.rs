@@ -15,7 +15,8 @@ usage: ecl-cc <command> [args]
 commands:
   components <file> [--algo NAME|auto] [--threads N] [--format F] [--labels OUT]
              [--watchdog CYCLES] [--fault-plan SPEC] [--sim-workers N]
-             [--trace FILE] [--stats]
+             [--trace FILE] [--stats] [--shards N] [--shard-chaos SPEC]
+             [--shard-ckpt DIR] [--crash-budget N]
       label connected components (default algo: parallel); `--algo auto`
       runs the fallback ladder (simulated GPU -> multicore CPU -> serial),
       certifying each stage's output and degrading on failure; --watchdog
@@ -28,12 +29,18 @@ commands:
       become indicative only; omit it for deterministic serial timing;
       --trace FILE writes a Chrome trace (kernel + ladder spans);
       --stats prints per-kernel cycles and parent-path-length stats
-      (gpu algo only)
+      (gpu algo only); --shards N edge-cuts the graph across N simulated
+      devices (overriding --algo) with min-label exchange rounds over a
+      fault-injected interconnect — --shard-chaos SPEC takes the same
+      fault-plan grammar plus drop=/corrupt=/crash= and the
+      shard-chaos[:SEED] preset, --shard-ckpt DIR persists crash-safe
+      round checkpoints, --crash-budget N (default 1) bounds tolerated
+      device crashes before degrading to the single-device ladder
   batch --jobs FILE [--workers N] [--queue N] [--deadline-ms MS] [--retries N]
         [--journal FILE] [--resume FILE] [--results DIR] [--report FILE]
         [--fault-plan SPEC] [--watchdog CYCLES] [--threads N] [--reject-full]
         [--breaker-threshold N] [--breaker-cooldown-ms MS] [--breaker-probes N]
-        [--kill-after N] [--sim-workers N] [--trace FILE]
+        [--kill-after N] [--sim-workers N] [--shards N] [--trace FILE]
       run a batch of CC jobs (one `<name> <graph-spec>` per line in FILE)
       through the certified fallback ladder on a worker pool, with
       retry/backoff, per-backend circuit breakers, and a crash-safe
@@ -41,7 +48,9 @@ commands:
       the machine-readable JSON report goes to --report or stdout;
       --kill-after N simulates SIGKILL after N completed jobs (testing);
       --sim-workers N makes GPU stages host-parallel (0 = auto: cores
-      are split between batch workers and per-device SM threads);
+      are split between batch workers and per-device SM threads;
+      --shards N runs every job sharded across N simulated devices and
+      widens the core budget to workers x shards);
       --trace FILE writes a Chrome trace (job, ladder, kernel spans,
       breaker transitions, queue depth)
   serve --dir DIR [--addr HOST:PORT] [--vertices N] [--resume]
@@ -143,12 +152,24 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let watchdog: Option<u64> = flag(args, "--watchdog")
                 .map(|w| w.parse().map_err(|e| format!("--watchdog: {e}")))
                 .transpose()?;
+            let shards: Option<usize> = flag(args, "--shards")
+                .map(|v| v.parse().map_err(|e| format!("--shards: {e}")))
+                .transpose()?;
+            let shard_chaos = match flag(args, "--shard-chaos") {
+                Some(spec) => {
+                    if shards.is_none() {
+                        return Err("--shard-chaos needs --shards N".into());
+                    }
+                    Some(FaultPlan::parse(&spec).map_err(|e| format!("--shard-chaos: {e}"))?)
+                }
+                None => None,
+            };
             let fault = match flag(args, "--fault-plan") {
                 Some(spec) => {
-                    if algo != "auto" && algo != "gpu" {
+                    if algo != "auto" && algo != "gpu" && shards.is_none() {
                         return Err(format!(
                             "--fault-plan targets the simulated GPU; it needs \
-                             --algo gpu or --algo auto (got '{algo}')"
+                             --algo gpu, --algo auto, or --shards N (got '{algo}')"
                         ));
                     }
                     FaultPlan::parse(&spec).map_err(|e| format!("--fault-plan: {e}"))?
@@ -166,7 +187,50 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             }
             let recorder = trace_out.as_ref().map(|_| Recorder::new());
             let t = Instant::now();
-            let (r, how, gpu_stats) = if algo == "auto" {
+            let (r, how, gpu_stats) = if let Some(n) = shards {
+                let ckpt = flag(args, "--shard-ckpt").map(PathBuf::from);
+                let budget: u32 = flag(args, "--crash-budget")
+                    .map(|v| v.parse().map_err(|e| format!("--crash-budget: {e}")))
+                    .transpose()?
+                    .unwrap_or(1);
+                let plan = shard_chaos.unwrap_or(fault);
+                let out = ecl_cc_cli::run_sharded_obs(
+                    &g,
+                    n,
+                    threads,
+                    watchdog,
+                    plan,
+                    sim_exec,
+                    ckpt,
+                    budget,
+                    recorder.clone(),
+                )?;
+                let rep = &out.report;
+                eprintln!(
+                    "sharded: {} devices, {} rounds to fixpoint, {} shared vertices, \
+                     {} frames ({} retransmits), {} exchange bytes, {} crashes \
+                     ({} shards recovered){}",
+                    rep.shards,
+                    rep.rounds,
+                    rep.shared_vertices,
+                    rep.exchange.frames_sent,
+                    rep.exchange.retransmits,
+                    rep.exchange.bytes_sent,
+                    rep.device_crashes,
+                    rep.shards_recovered,
+                    if rep.degraded {
+                        "; degraded to single-device ladder"
+                    } else {
+                        ""
+                    }
+                );
+                let how = if rep.degraded {
+                    format!("sharded:{n}(degraded)")
+                } else {
+                    format!("sharded:{n}")
+                };
+                (out.result, how, None)
+            } else if algo == "auto" {
                 let out = run_ladder_obs(&g, threads, watchdog, fault, sim_exec, recorder.clone())?;
                 for a in &out.attempts {
                     if let Some(reason) = a.outcome.reason() {
@@ -306,6 +370,9 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             }
             if let Some(k) = parse_u64("--kill-after")? {
                 cfg.kill_after_jobs = Some(k as usize);
+            }
+            if let Some(s) = parse_u64("--shards")? {
+                cfg.shards_per_job = s.max(1) as usize;
             }
             cfg.reject_when_full = args.iter().any(|a| a == "--reject-full");
             if let Some(j) = flag(args, "--journal") {

@@ -76,6 +76,11 @@ pub struct EngineConfig {
     /// Test hook simulating `SIGKILL`: stop the engine dead after this
     /// many journal appends in this run.
     pub kill_after_jobs: Option<usize>,
+    /// Simulated devices per job: 1 (the default) runs jobs through the
+    /// fallback ladder; N > 1 edge-cuts each job's graph across N
+    /// devices with min-label exchange (`ecl-shard`). Counts against
+    /// the core budget alongside workers — see [`budget_exec_mode`].
+    pub shards_per_job: usize,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +98,7 @@ impl Default for EngineConfig {
             resume: false,
             reject_when_full: false,
             kill_after_jobs: None,
+            shards_per_job: 1,
         }
     }
 }
@@ -243,7 +249,10 @@ pub fn run_batch(jobs: &[JobSpec], cfg: &EngineConfig) -> Result<BatchReport, St
         recorded: AtomicUsize::new(0),
         killed: AtomicBool::new(false),
         graphs: GraphStore::new(),
-        exec: budget_exec_mode(cfg.ladder.exec, cfg.workers.max(1)),
+        exec: budget_exec_mode(
+            cfg.ladder.exec,
+            cfg.workers.max(1) * cfg.shards_per_job.max(1),
+        ),
     };
 
     // Recovered jobs go straight into the report.
@@ -345,8 +354,10 @@ pub fn run_batch(jobs: &[JobSpec], cfg: &EngineConfig) -> Result<BatchReport, St
 /// simulation threads. `HostParallel(0)` means "auto": with W engine
 /// workers each already running jobs concurrently, each simulated device
 /// gets `cores / W` SM threads (at least 1, where `HostParallel(1)`
-/// collapses to the cheaper serial path in the device). Explicit modes
-/// pass through untouched — the operator asked for exactly that.
+/// collapses to the cheaper serial path in the device). Sharded runs
+/// multiply the divisor: W workers × S shards devices may execute at
+/// once, so each gets `cores / (W*S)` threads. Explicit modes pass
+/// through untouched — the operator asked for exactly that.
 fn budget_exec_mode(requested: ExecMode, workers: usize) -> ExecMode {
     match requested {
         ExecMode::HostParallel(0) => {
@@ -429,6 +440,10 @@ fn process_job(shared: &Shared<'_>, job: &JobSpec) -> Option<JobReport> {
             });
         }
     };
+
+    if cfg.shards_per_job > 1 {
+        return process_job_sharded(shared, job, &graph, t0);
+    }
 
     let mut attempts: Vec<AttemptReport> = Vec::new();
     let mut last_error = EclError::Exhausted {
@@ -559,7 +574,16 @@ fn process_job(shared: &Shared<'_>, job: &JobSpec) -> Option<JobReport> {
                         continue;
                     }
                 }
-                return finish_job(shared, job, &out, round, attempts, t0);
+                return finish_job(
+                    shared,
+                    job,
+                    &out.result.labels,
+                    out.backend.name(),
+                    out.certificate.num_components,
+                    round,
+                    attempts,
+                    t0,
+                );
             }
             Err(e) => {
                 // The ladder failed every stage; the failures were
@@ -602,17 +626,143 @@ fn process_job(shared: &Shared<'_>, job: &JobSpec) -> Option<JobReport> {
     })
 }
 
+/// The sharded fast path: when `shards_per_job > 1` the job bypasses the
+/// breaker-routed ladder — `ecl-shard` carries its own containment
+/// (retransmission, checkpoint recovery, and a degrade-to-ladder rung of
+/// last resort) — but keeps the engine's retry rounds, backoff, seed
+/// perturbation, and deadline. Certified results checkpoint through the
+/// same [`finish_job`] as ladder results, with backend `sharded:N` (or
+/// `sharded:N(degraded)` when the crash budget was exceeded mid-run);
+/// the journal digest covers label bytes only, so resume byte-identity
+/// holds across shard counts.
+fn process_job_sharded(
+    shared: &Shared<'_>,
+    job: &JobSpec,
+    graph: &ecl_graph::CsrGraph,
+    t0: Instant,
+) -> Option<JobReport> {
+    let cfg = shared.cfg;
+    let mut attempts: Vec<AttemptReport> = Vec::new();
+    let mut last_error = EclError::Exhausted {
+        attempts: 0,
+        last: None,
+    };
+
+    for round in 0..=cfg.retries {
+        if round > 0 {
+            let delay = cfg.backoff.delay_ms(job.id, round);
+            if delay > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+            }
+        }
+        if shared.killed() {
+            return None;
+        }
+
+        let mut fault = cfg.ladder.fault;
+        fault.seed = fault
+            .seed
+            .wrapping_add(job.id.wrapping_mul(0x9e37_79b9))
+            .wrapping_add(round as u64 * 64);
+        let shard_cfg = ecl_shard::ShardConfig {
+            shards: cfg.shards_per_job,
+            cc: cfg.ladder.cc,
+            profile: cfg.ladder.profile.clone(),
+            fault,
+            watchdog: cfg.ladder.watchdog,
+            exec: shared.exec,
+            threads: cfg.ladder.threads,
+            recorder: shared.recorder().cloned(),
+            ..ecl_shard::ShardConfig::default()
+        };
+
+        let round_start = Instant::now();
+        match ecl_shard::run_sharded(graph, &shard_cfg) {
+            Ok(out) => {
+                let backend = if out.report.degraded {
+                    format!("sharded:{}(degraded)", cfg.shards_per_job)
+                } else {
+                    format!("sharded:{}", cfg.shards_per_job)
+                };
+                let elapsed_ms = round_start.elapsed().as_millis() as u64;
+                if let Some(deadline) = cfg.deadline_ms {
+                    if elapsed_ms > deadline {
+                        last_error = EclError::Timeout {
+                            elapsed_ms,
+                            deadline_ms: deadline,
+                        };
+                        attempts.push(AttemptReport {
+                            round,
+                            backend,
+                            attempt: 0,
+                            certified: false,
+                            error: Some(ErrorReport::from_ecl(&last_error)),
+                        });
+                        continue;
+                    }
+                }
+                attempts.push(AttemptReport {
+                    round,
+                    backend: backend.clone(),
+                    attempt: 0,
+                    certified: true,
+                    error: None,
+                });
+                return finish_job(
+                    shared,
+                    job,
+                    &out.result.labels,
+                    &backend,
+                    out.certificate.num_components,
+                    round,
+                    attempts,
+                    t0,
+                );
+            }
+            Err(e) => {
+                attempts.push(AttemptReport {
+                    round,
+                    backend: format!("sharded:{}", cfg.shards_per_job),
+                    attempt: 0,
+                    certified: false,
+                    error: Some(ErrorReport::from_ecl(&e)),
+                });
+                last_error = e;
+            }
+        }
+    }
+
+    Some(JobReport {
+        id: job.id,
+        name: job.name.clone(),
+        status: JobStatus::Failed,
+        backend: None,
+        components: None,
+        retries: cfg.retries,
+        attempts,
+        error: Some(ErrorReport::from_ecl(&last_error)),
+        time_ms: t0.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
 /// Persists and journals a certified result; flips the kill switch when
-/// the `kill_after_jobs` checkpoint count is reached.
+/// the `kill_after_jobs` checkpoint count is reached. Takes the labels,
+/// backend tag, and component count directly so both the ladder path and
+/// the sharded path can checkpoint through the same code — the journal
+/// digest covers label bytes only, so a sharded run and a serial run of
+/// the same job resume interchangeably.
+#[allow(clippy::too_many_arguments)]
 fn finish_job(
     shared: &Shared<'_>,
     job: &JobSpec,
-    out: &ladder::LadderOutcome,
+    labels: &[u32],
+    backend: &str,
+    components: usize,
     retries: u32,
     attempts: Vec<AttemptReport>,
     t0: Instant,
 ) -> Option<JobReport> {
-    let bytes = labels_to_bytes(&out.result.labels);
+    let bytes = labels_to_bytes(labels);
     let digest = journal::fnv1a(&bytes);
 
     if let Some(dir) = &shared.cfg.results_dir {
@@ -633,8 +783,8 @@ fn finish_job(
     if let Some(journal) = &shared.journal {
         let entry = JournalEntry {
             job_id: job.id,
-            backend: out.backend.name().to_string(),
-            components: out.certificate.num_components,
+            backend: backend.to_string(),
+            components,
             retries,
             digest,
         };
@@ -668,8 +818,8 @@ fn finish_job(
         id: job.id,
         name: job.name.clone(),
         status: JobStatus::Done,
-        backend: Some(out.backend.name().to_string()),
-        components: Some(out.certificate.num_components),
+        backend: Some(backend.to_string()),
+        components: Some(components),
         retries,
         attempts,
         error: None,

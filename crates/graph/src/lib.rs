@@ -26,6 +26,7 @@ pub mod catalog;
 pub mod compressed;
 pub mod generate;
 pub mod io;
+pub mod partition;
 pub mod stats;
 pub mod transform;
 

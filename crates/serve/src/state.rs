@@ -121,14 +121,26 @@ impl ServeState {
             }
             None => (IncrementalCc::new(n), 0),
         };
-        let total = snap.edges.len() as u64;
+        let total = snap.base + snap.edges.len() as u64;
         if covered > total {
             return Err(format!(
                 "snapshot covers {covered} WAL records but only {total} exist \
                  (WAL truncated after snapshot?)"
             ));
         }
-        for &(u, v) in &snap.edges[covered as usize..] {
+        if covered < snap.base {
+            // Compaction only ever runs after a snapshot covering its
+            // watermark is durable, so the snapshot on disk should never
+            // lag the WAL's base. If it does (snapshot file replaced or
+            // deleted by hand), the records needed for replay are gone —
+            // refuse rather than resume with silent edge loss.
+            return Err(format!(
+                "WAL was compacted past record {} but the snapshot only covers {covered} \
+                 — the dropped prefix is unrecoverable",
+                snap.base
+            ));
+        }
+        for &(u, v) in &snap.edges[(covered - snap.base) as usize..] {
             cc.try_add_edge(u, v)
                 .map_err(|e| format!("WAL replay: {e}"))?;
         }
@@ -224,6 +236,11 @@ impl ServeState {
         write_atomic(&self.dir.join(SNAP_FILE), doc.as_bytes())
             .map_err(|e| format!("write {SNAP_FILE}: {e}"))?;
         self.last_snapshot.store(covered, Ordering::Relaxed);
+        // The snapshot is durable, so the WAL prefix it covers is dead
+        // weight: compact it away. Best-effort — a failed compaction
+        // leaves the full log in place, which is merely larger, and a
+        // *poisoned* WAL will surface on the next ADD anyway.
+        let _ = self.wal.compact(covered);
         Ok(())
     }
 }
@@ -388,6 +405,52 @@ mod tests {
         assert_eq!(r2.stats().edges, 3);
         assert!(r2.connected(0, 1).unwrap());
         assert!(r2.connected(2, 4).unwrap());
+    }
+
+    #[test]
+    fn snapshot_compacts_wal_and_resume_replays_suffix() {
+        let d = tmpdir("compaction");
+        let s = ServeState::open_fresh(&d, 16, 0).unwrap();
+        for i in 0..5 {
+            s.add_edge(i, i + 1).unwrap();
+        }
+        s.snapshot().unwrap();
+        // The durable snapshot covers all 5 records, so the WAL on disk
+        // is rewritten to an empty suffix at base 5.
+        let snap = wal::load(&d.join(WAL_FILE)).unwrap();
+        assert_eq!(snap.base, 5);
+        assert!(snap.edges.is_empty());
+        s.add_edge(8, 9).unwrap();
+        drop(s);
+        let r = ServeState::resume(&d, 0).unwrap();
+        assert_eq!(r.stats().edges, 6);
+        assert!(r.connected(0, 5).unwrap());
+        assert!(r.connected(8, 9).unwrap());
+        // Second-generation compaction on the resumed instance.
+        r.snapshot().unwrap();
+        assert_eq!(wal::load(&d.join(WAL_FILE)).unwrap().base, 6);
+        r.add_edge(10, 11).unwrap();
+        drop(r);
+        let r2 = ServeState::resume(&d, 0).unwrap();
+        assert_eq!(r2.stats().edges, 7);
+        assert!(r2.connected(10, 11).unwrap());
+    }
+
+    #[test]
+    fn compacted_wal_without_its_snapshot_is_refused() {
+        // The compacted prefix lives only in the snapshot; if that file
+        // vanishes, resume must refuse rather than silently drop edges.
+        let d = tmpdir("compact_nosnap");
+        let s = ServeState::open_fresh(&d, 8, 0).unwrap();
+        s.add_edge(0, 1).unwrap();
+        s.snapshot().unwrap();
+        drop(s);
+        std::fs::remove_file(d.join(SNAP_FILE)).unwrap();
+        let err = match ServeState::resume(&d, 0) {
+            Err(e) => e,
+            Ok(_) => panic!("compacted WAL without snapshot accepted"),
+        };
+        assert!(err.contains("compacted past"), "got: {err}");
     }
 
     #[test]

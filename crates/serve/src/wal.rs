@@ -30,14 +30,24 @@
 //! If the rollback itself fails the on-disk state is unknown and the
 //! WAL is **poisoned**: every subsequent append fails fast rather than
 //! risk acknowledging records it cannot prove durable.
+//!
+//! The log does not grow forever: after a durable snapshot the server
+//! calls [`Wal::compact`], which rewrites the file to only the records
+//! past the snapshot's watermark and pins the dropped count in the
+//! header's base-offset field (`eclwal\t2\t{n}\t{base}`). The rewrite
+//! is write-temp-fsync-rename, so a kill mid-compaction leaves either
+//! the old or the new complete log — never a tear, never a lost
+//! acknowledged record.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex};
 
-/// WAL format version; bumped on incompatible changes.
-const VERSION: u32 = 1;
+/// WAL format version; bumped on incompatible changes. Version 2 added
+/// the base-offset header field for compacted logs; version-1 files
+/// (implicit base 0) are still accepted by [`load`].
+const VERSION: u32 = 2;
 
 struct WalState {
     /// Records appended but not yet handed to a flush.
@@ -46,7 +56,13 @@ struct WalState {
     pending: u64,
     /// Highest sequence number known durable on disk.
     flushed: u64,
-    /// A leader is currently writing; followers wait.
+    /// Records logically preceding this file: compaction drops the
+    /// prefix a durable snapshot already covers and pins the count in
+    /// the header, so sequence numbers keep counting from the start of
+    /// history.
+    base: u64,
+    /// A leader is currently writing; followers wait. Compaction also
+    /// raises this flag: it is an exclusive writer of the same file.
     flushing: bool,
     /// A flush failed *and* the rollback failed: the file's tail is in
     /// an unknown state, so no further append may be acknowledged.
@@ -61,15 +77,20 @@ pub struct Wal {
     /// while the leader is inside `fsync`. `flushing` guarantees a
     /// single writer, so file order always equals sequence order.
     file: Mutex<File>,
+    /// Where the file lives — compaction rewrites it in place (via
+    /// write-temp-rename) and must reopen the append handle afterwards.
+    path: PathBuf,
+    /// Vertex count pinned in the header, re-pinned on compaction.
+    vertices: usize,
 }
 
 impl Wal {
     /// Creates (truncating) a fresh WAL for a structure of `n` vertices.
     pub fn create(path: &Path, n: usize) -> io::Result<Wal> {
         let mut file = File::create(path)?;
-        writeln!(file, "eclwal\t{VERSION}\t{n}")?;
+        writeln!(file, "eclwal\t{VERSION}\t{n}\t0")?;
         file.sync_data()?;
-        Ok(Wal::wrap(file, 0))
+        Ok(Wal::wrap(file, path, n, 0, 0))
     }
 
     /// Reopens the WAL behind a [`load`] for appending: the recovered
@@ -85,20 +106,32 @@ impl Wal {
             file.set_len(recovered.valid_len)?;
             file.sync_data()?;
         }
-        Ok(Wal::wrap(file, recovered.edges.len() as u64))
+        Ok(Wal::wrap(
+            file,
+            path,
+            recovered.vertices,
+            recovered.base,
+            recovered.edges.len() as u64,
+        ))
     }
 
-    fn wrap(file: File, flushed: u64) -> Wal {
+    fn wrap(file: File, path: &Path, vertices: usize, base: u64, in_file: u64) -> Wal {
+        // `base` records were compacted away; the file holds `in_file`
+        // more and the sequence continues from their sum.
+        let flushed = base + in_file;
         Wal {
             state: Mutex::new(WalState {
                 buf: Vec::new(),
                 pending: flushed,
                 flushed,
+                base,
                 flushing: false,
                 poisoned: false,
             }),
             cv: Condvar::new(),
             file: Mutex::new(file),
+            path: path.to_path_buf(),
+            vertices,
         }
     }
 
@@ -182,9 +215,119 @@ impl Wal {
     }
 
     /// Number of records known durable (the `covered` watermark a
-    /// snapshot records).
+    /// snapshot records). Counts from the start of history — compaction
+    /// never lowers it.
     pub fn durable_records(&self) -> u64 {
         self.state.lock().unwrap().flushed
+    }
+
+    /// Compacts the log: drops every record a durable snapshot already
+    /// covers (`upto`, a [`durable_records`](Self::durable_records)
+    /// watermark) and pins that count in the header's base-offset field,
+    /// so resume replays only the suffix. The rewrite is
+    /// write-temp-fsync-rename — a kill at any point leaves either the
+    /// old complete log or the new complete log, never a tear — and the
+    /// append handle is reopened on the new file before any later flush
+    /// can write (appending through the old handle would scribble on the
+    /// unlinked inode and silently lose acknowledged records).
+    ///
+    /// Only durable records may be compacted; `upto` is clamped to the
+    /// flushed watermark. A failure leaves the old log in place and the
+    /// WAL fully usable — compaction is an optimization, never a
+    /// durability hazard.
+    pub fn compact(&self, upto: u64) -> io::Result<()> {
+        // Become the exclusive writer, exactly like a flush leader:
+        // no flush can be mid-write while the file is being swapped.
+        let (base, upto) = {
+            let mut s = self.state.lock().unwrap();
+            loop {
+                if s.poisoned {
+                    return Err(Self::poisoned_err());
+                }
+                if !s.flushing {
+                    break;
+                }
+                s = self.cv.wait(s).unwrap();
+            }
+            let upto = upto.min(s.flushed);
+            if upto <= s.base {
+                return Ok(()); // nothing new to drop
+            }
+            s.flushing = true;
+            (s.base, upto)
+        };
+
+        let res = self.rewrite(base, upto);
+
+        let mut s = self.state.lock().unwrap();
+        s.flushing = false;
+        match res {
+            Ok(()) => {
+                s.base = upto;
+                self.cv.notify_all();
+                Ok(())
+            }
+            Err(FlushError { cause, poisons }) => {
+                if poisons {
+                    // The rename landed but the append handle could not
+                    // be reopened: the old handle points at the unlinked
+                    // inode, so any later flush would acknowledge
+                    // records onto a file nobody can ever read back.
+                    s.poisoned = true;
+                    s.buf.clear();
+                }
+                self.cv.notify_all();
+                Err(cause)
+            }
+        }
+    }
+
+    /// The compaction rewrite itself, run while holding writer
+    /// exclusivity (`flushing == true`). A failure *before* the rename
+    /// leaves the old complete log and the old (still valid) append
+    /// handle — harmless. A failure *after* the rename poisons.
+    fn rewrite(&self, base: u64, upto: u64) -> Result<(), FlushError> {
+        let mut file = self.file.lock().unwrap();
+        let soft = |cause: io::Error| FlushError {
+            cause,
+            poisons: false,
+        };
+        // The last flush fsync'd everything durable, so re-reading the
+        // file sees exactly records base+1..=flushed.
+        let snap = load(&self.path)
+            .map_err(|e| soft(io::Error::other(format!("re-read for compaction: {e}"))))?;
+        let drop_count = (upto - base) as usize;
+        let kept = &snap.edges[drop_count.min(snap.edges.len())..];
+
+        let tmp = self.path.with_extension("wal.compact-tmp");
+        let write_tmp = || -> io::Result<()> {
+            let mut out = File::create(&tmp)?;
+            let mut doc = format!("eclwal\t{VERSION}\t{}\t{upto}\n", self.vertices);
+            for &(u, v) in kept {
+                doc.push_str(&format!("e\t{u}\t{v}\n"));
+            }
+            out.write_all(doc.as_bytes())?;
+            out.sync_data()?;
+            Ok(())
+        };
+        write_tmp().map_err(soft)?;
+        std::fs::rename(&tmp, &self.path).map_err(soft)?;
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        // Swap the append handle onto the new inode before releasing
+        // writer exclusivity. Past the rename, failing to reopen means
+        // the WAL must be poisoned (see `compact`).
+        *file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|cause| FlushError {
+                cause,
+                poisons: true,
+            })?;
+        Ok(())
     }
 }
 
@@ -228,8 +371,14 @@ fn flush_batch(f: &mut File, batch: &[u8]) -> Result<(), FlushError> {
 pub struct WalSnapshot {
     /// The vertex count the WAL was created with.
     pub vertices: usize,
-    /// Durable edge records, in append order. A torn trailing record is
-    /// discarded (it was never acknowledged).
+    /// Records logically preceding this file: a compacted log starts at
+    /// sequence `base + 1`, and the dropped prefix is only recoverable
+    /// from the state snapshot that justified the compaction. Zero for
+    /// uncompacted (and all version-1) logs.
+    pub base: u64,
+    /// Durable edge records present in the file, in append order
+    /// (sequence numbers `base+1 ..= base+edges.len()`). A torn
+    /// trailing record is discarded (it was never acknowledged).
     pub edges: Vec<(u32, u32)>,
     /// Byte offset of the end of the last valid record (= the offset
     /// [`Wal::append`] truncates to, cutting any torn tail).
@@ -258,16 +407,22 @@ pub fn load(path: &Path) -> io::Result<WalSnapshot> {
     }
     let meta = line.trim_end_matches('\n');
     let mut mf = meta.split('\t');
-    let vertices = match (mf.next(), mf.next(), mf.next(), mf.next()) {
-        (Some("eclwal"), Some(v), Some(n), None) if v == VERSION.to_string() => n
-            .parse::<usize>()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
-        _ => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad WAL meta line: {meta:?}"),
-            ))
-        }
+    let bad = || {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad WAL meta line: {meta:?}"),
+        )
+    };
+    let inv = |e: std::num::ParseIntError| io::Error::new(io::ErrorKind::InvalidData, e);
+    let (vertices, base) = match (mf.next(), mf.next(), mf.next(), mf.next(), mf.next()) {
+        // Version 1: no base-offset field (implicitly 0).
+        (Some("eclwal"), Some("1"), Some(n), None, None) => (n.parse::<usize>().map_err(inv)?, 0),
+        // Version 2: base-offset header for compacted logs.
+        (Some("eclwal"), Some("2"), Some(n), Some(b), None) => (
+            n.parse::<usize>().map_err(inv)?,
+            b.parse::<u64>().map_err(inv)?,
+        ),
+        _ => return Err(bad()),
     };
     let mut valid_len = line.len() as u64;
     let mut edges = Vec::new();
@@ -292,6 +447,7 @@ pub fn load(path: &Path) -> io::Result<WalSnapshot> {
     }
     Ok(WalSnapshot {
         vertices,
+        base,
         edges,
         valid_len,
     })
@@ -403,7 +559,7 @@ mod tests {
         let p = tmpfile("poison");
         drop(Wal::create(&p, 8).unwrap());
         let before = std::fs::read(&p).unwrap();
-        let wal = Wal::wrap(File::open(&p).unwrap(), 0);
+        let wal = Wal::wrap(File::open(&p).unwrap(), &p, 8, 0, 0);
         assert!(wal.append_edge(0, 1).is_err());
         let err = wal.append_edge(2, 3).unwrap_err();
         assert!(err.to_string().contains("poisoned"), "got: {err}");
@@ -421,6 +577,133 @@ mod tests {
         assert!(load(&p).is_err(), "no meta line");
         std::fs::write(&p, "eclwal\t99\t10\n").unwrap();
         assert!(load(&p).is_err(), "wrong version");
+        std::fs::write(&p, "eclwal\t2\t10\n").unwrap();
+        assert!(load(&p).is_err(), "v2 without base field");
+        std::fs::write(&p, "eclwal\t1\t10\t5\n").unwrap();
+        assert!(load(&p).is_err(), "v1 with extra field");
+    }
+
+    #[test]
+    fn v1_log_loads_with_base_zero() {
+        let p = tmpfile("v1compat");
+        std::fs::write(&p, "eclwal\t1\t10\ne\t0\t1\ne\t2\t3\n").unwrap();
+        let snap = load(&p).unwrap();
+        assert_eq!(snap.vertices, 10);
+        assert_eq!(snap.base, 0);
+        assert_eq!(snap.edges, vec![(0, 1), (2, 3)]);
+        // And it keeps appending (sequence continues from 2).
+        let wal = Wal::append(&p, &snap).unwrap();
+        assert_eq!(wal.append_edge(4, 5).unwrap(), 3);
+    }
+
+    #[test]
+    fn compact_drops_covered_prefix_and_sequences_continue() {
+        let p = tmpfile("compact");
+        let wal = Wal::create(&p, 32).unwrap();
+        for i in 0..5 {
+            wal.append_edge(i, i + 1).unwrap();
+        }
+        wal.compact(3).unwrap();
+        // Compacting to the same or an older watermark is a no-op.
+        wal.compact(3).unwrap();
+        wal.compact(1).unwrap();
+        assert_eq!(wal.durable_records(), 5);
+        // Appends keep going through the swapped handle with the
+        // history-wide sequence numbering.
+        assert_eq!(wal.append_edge(9, 10).unwrap(), 6);
+        drop(wal);
+
+        let snap = load(&p).unwrap();
+        assert_eq!(snap.base, 3);
+        assert_eq!(snap.edges, vec![(3, 4), (4, 5), (9, 10)]);
+        // Resume-side reopen continues from base + in-file records.
+        let wal = Wal::append(&p, &snap).unwrap();
+        assert_eq!(wal.durable_records(), 6);
+        assert_eq!(wal.append_edge(11, 12).unwrap(), 7);
+    }
+
+    #[test]
+    fn compact_clamps_to_durable_watermark() {
+        let p = tmpfile("compact_clamp");
+        let wal = Wal::create(&p, 8).unwrap();
+        wal.append_edge(0, 1).unwrap();
+        wal.compact(u64::MAX).unwrap();
+        assert_eq!(load(&p).unwrap().base, 1);
+        assert!(load(&p).unwrap().edges.is_empty());
+        assert_eq!(wal.append_edge(2, 3).unwrap(), 2);
+        assert_eq!(load(&p).unwrap().edges, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn kill_mid_compaction_leaves_a_loadable_log() {
+        // A kill between writing the temp file and the rename leaves the
+        // old complete log plus a stray temp file: load must see the old
+        // log untouched, and a later real compaction must still succeed
+        // over the leftover temp.
+        let p = tmpfile("compact_kill");
+        let wal = Wal::create(&p, 16).unwrap();
+        for i in 0..4 {
+            wal.append_edge(i, i + 1).unwrap();
+        }
+        drop(wal);
+        // Simulate the pre-rename half of a compaction that was killed.
+        let tmp = p.with_extension("wal.compact-tmp");
+        std::fs::write(&tmp, "eclwal\t2\t16\t2\ne\t2\t3\ne\t3\t4\n").unwrap();
+        let snap = load(&p).unwrap();
+        assert_eq!(snap.base, 0);
+        assert_eq!(snap.edges.len(), 4, "old log must be untouched");
+        // Resume and compact for real: the leftover temp is overwritten.
+        let wal = Wal::append(&p, &snap).unwrap();
+        wal.compact(2).unwrap();
+        assert_eq!(wal.append_edge(7, 8).unwrap(), 5);
+        drop(wal);
+        let snap = load(&p).unwrap();
+        assert_eq!(snap.base, 2);
+        assert_eq!(snap.edges, vec![(2, 3), (3, 4), (7, 8)]);
+        assert!(!tmp.exists(), "temp must be consumed by the rename");
+    }
+
+    #[test]
+    fn concurrent_appends_race_compaction_losslessly() {
+        // Appenders keep acknowledging while another thread compacts:
+        // every acknowledged record must be recoverable afterwards from
+        // snapshot-covered prefix (here: the compaction watermark's
+        // sequence numbers) + the rewritten file.
+        let p = tmpfile("compact_race");
+        let wal = Arc::new(Wal::create(&p, 10_000).unwrap());
+        let writers: Vec<_> = (0..4u32)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        wal.append_edge(t, 1000 + t * 50 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let compactor = {
+            let wal = Arc::clone(&wal);
+            std::thread::spawn(move || {
+                for _ in 0..8 {
+                    let covered = wal.durable_records();
+                    wal.compact(covered).unwrap();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        compactor.join().unwrap();
+        assert_eq!(wal.durable_records(), 200);
+        drop(wal);
+        let snap = load(&p).unwrap();
+        // base + in-file = every acknowledged record, none duplicated.
+        assert_eq!(snap.base + snap.edges.len() as u64, 200);
+        let mut seconds: Vec<u32> = snap.edges.iter().map(|&(_, v)| v).collect();
+        seconds.sort_unstable();
+        seconds.dedup();
+        assert_eq!(seconds.len(), snap.edges.len(), "duplicated records");
     }
 
     #[test]

@@ -285,3 +285,94 @@ fn admission_control_rejects_when_full() {
         }
     }
 }
+
+/// Sharded batch execution: `shards_per_job > 1` routes every job through
+/// the multi-device coordinator, yet the persisted result files are
+/// byte-identical to a single-device batch — which is what lets a killed
+/// sharded run resume against a serial journal and vice versa.
+#[test]
+fn sharded_batch_results_byte_identical_to_single_device() {
+    let jobs = jobs();
+    let n = jobs.len() as u64;
+
+    let ref_dir = tmpdir("shard_ref");
+    let cfg = EngineConfig {
+        workers: 2,
+        results_dir: Some(ref_dir.join("results")),
+        ..EngineConfig::default()
+    };
+    let report = run_batch(&jobs, &cfg).unwrap();
+    assert!(report.is_complete());
+    let reference = read_results(&cfg.results_dir.clone().unwrap(), n);
+
+    for shards in [2usize, 3] {
+        let dir = tmpdir(&format!("shard{shards}"));
+        let mut cfg = EngineConfig {
+            workers: 2,
+            shards_per_job: shards,
+            journal_path: Some(dir.join("batch.journal")),
+            results_dir: Some(dir.join("results")),
+            ..EngineConfig::default()
+        };
+        // Interconnect chaos on top: retransmission must not leak into
+        // the persisted bytes.
+        cfg.ladder.fault = ecl_gpu_sim::FaultPlan::shard_chaos(11);
+        let report = run_batch(&jobs, &cfg).unwrap();
+        assert!(report.is_complete(), "shards={shards}: {report:?}");
+        for j in &report.jobs {
+            let backend = j.backend.as_deref().unwrap_or("none");
+            assert!(
+                backend.starts_with(&format!("sharded:{shards}")),
+                "job {} ran on {backend}, not sharded",
+                j.name
+            );
+        }
+        let got = read_results(&cfg.results_dir.clone().unwrap(), n);
+        assert_eq!(got, reference, "shards={shards} changed result bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// A batch journaled by a sharded run resumes cleanly into a
+/// single-device engine: the digests cover label bytes only, so the
+/// resumed engine accepts every sharded entry as-is.
+#[test]
+fn sharded_journal_resumes_on_single_device_engine() {
+    let jobs = jobs();
+    let dir = tmpdir("shard_resume");
+    let killed_cfg = EngineConfig {
+        workers: 1,
+        shards_per_job: 4,
+        journal_path: Some(dir.join("batch.journal")),
+        results_dir: Some(dir.join("results")),
+        kill_after_jobs: Some(3),
+        ..EngineConfig::default()
+    };
+    let killed = run_batch(&jobs, &killed_cfg).unwrap();
+    assert!(killed.aborted);
+
+    let resumed_cfg = EngineConfig {
+        workers: 2,
+        shards_per_job: 1,
+        resume: true,
+        journal_path: Some(dir.join("batch.journal")),
+        results_dir: Some(dir.join("results")),
+        ..EngineConfig::default()
+    };
+    let report = run_batch(&jobs, &resumed_cfg).unwrap();
+    assert!(report.is_complete(), "{report:?}");
+    let resumed: Vec<_> = report
+        .jobs
+        .iter()
+        .filter(|j| j.status.name() == "resumed")
+        .collect();
+    assert!(
+        resumed.len() >= 3,
+        "sharded journal entries not honored: {report:?}"
+    );
+    assert!(resumed
+        .iter()
+        .any(|j| j.backend.as_deref().unwrap_or("").starts_with("sharded:4")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
